@@ -1,0 +1,100 @@
+"""Bargaining-rule ablation: Nash vs Kalai–Smorodinsky vs egalitarian vs utilitarian.
+
+The paper chooses the Nash Bargaining Solution.  This bench applies the other
+classical rules to the same sampled energy-delay frontier (X-MAC, figure
+scenario) and reports how the agreed operating point shifts, plus which
+axioms each rule satisfies on this game — the quantitative justification for
+the paper's choice.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_series
+from repro.core.requirements import ApplicationRequirements
+from repro.core.tradeoff import EnergyDelayGame
+from repro.experiments.config import figure_scenario
+from repro.gametheory import (
+    BargainingGame,
+    check_all_axioms,
+    egalitarian_solution,
+    kalai_smorodinsky_solution,
+    nash_bargaining_solution,
+    utilitarian_solution,
+)
+from repro.protocols import XMACModel
+
+RULES = {
+    "nash": nash_bargaining_solution,
+    "kalai-smorodinsky": kalai_smorodinsky_solution,
+    "egalitarian": egalitarian_solution,
+    "utilitarian": utilitarian_solution,
+}
+
+
+def _build_discrete_game():
+    model = XMACModel(figure_scenario())
+    requirements = ApplicationRequirements(energy_budget=0.06, max_delay=6.0)
+    solution = EnergyDelayGame(model, requirements, grid_points_per_dimension=60).solve()
+    space = model.parameter_space
+    grid = np.linspace(space.lower_bounds[0], space.upper_bounds[0], 600)
+    costs = []
+    for value in grid:
+        point = [float(value)]
+        if not model.is_admissible(point):
+            continue
+        energy = model.system_energy(point)
+        delay = model.system_latency(point)
+        if energy <= solution.energy_worst and delay <= solution.delay_worst:
+            costs.append((energy, delay))
+    game = BargainingGame.from_costs(
+        costs,
+        disagreement_costs=(solution.energy_worst, solution.delay_worst),
+        player_names=("energy", "delay"),
+    )
+    return game, solution
+
+
+def test_bargaining_rule_ablation(benchmark):
+    game, continuous = benchmark.pedantic(_build_discrete_game, rounds=1, iterations=1)
+    rows = []
+    selected = {}
+    for name, rule in RULES.items():
+        point = rule(game)
+        energy, delay = -point.payoff[0], -point.payoff[1]
+        selected[name] = (energy, delay)
+        axioms = check_all_axioms(game, rule)
+        rows.append(
+            {
+                "rule": name,
+                "E [J/s]": energy,
+                "L [ms]": delay * 1000.0,
+                "pareto": axioms["pareto_optimality"].satisfied,
+                "scale-invariant": axioms["scale_invariance"].satisfied,
+                "IIA": axioms["independence_of_irrelevant_alternatives"].satisfied,
+            }
+        )
+    rows.append(
+        {
+            "rule": "nash (continuous P4)",
+            "E [J/s]": continuous.energy_star,
+            "L [ms]": continuous.delay_star * 1000.0,
+            "pareto": True,
+            "scale-invariant": True,
+            "IIA": True,
+        }
+    )
+    print_series("Bargaining-rule ablation (X-MAC, figure scenario)", rows)
+
+    # The discretized Nash point matches the continuous (P4) solution.
+    assert selected["nash"][0] == pytest.approx(continuous.energy_star, rel=0.05)
+    assert selected["nash"][1] == pytest.approx(continuous.delay_star, rel=0.05)
+    # Every rule picks a point dominated by the disagreement corner.
+    for energy, delay in selected.values():
+        assert energy <= continuous.energy_worst * 1.001
+        assert delay <= continuous.delay_worst * 1.001
+    # The Nash rule satisfies all four axioms on this game.
+    nash_axioms = check_all_axioms(game, nash_bargaining_solution)
+    assert all(check.satisfied for check in nash_axioms.values())

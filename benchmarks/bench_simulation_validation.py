@@ -1,0 +1,61 @@
+"""Model-vs-simulation benchmark.
+
+The brief announcement has no experimental section; this bench provides the
+reproduction's substitute: for every protocol of the paper, run the
+packet-level simulator at the parameters chosen by the Nash bargaining
+solution and check that the analytical energy/delay the game was solved with
+agree with the measured values.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import print_series
+from repro.analysis.validation import validate_protocol
+from repro.core.requirements import ApplicationRequirements
+from repro.core.tradeoff import EnergyDelayGame
+from repro.network.topology import RingTopology
+from repro.protocols.registry import paper_protocols
+from repro.scenario import Scenario
+from repro.simulation import SimulationConfig
+
+#: Simulation scenario: unsaturated traffic (one reading per node every ten
+#: minutes) on a four-ring network, the regime the paper's traffic model
+#: assumes.
+SCENARIO = Scenario(topology=RingTopology(depth=4, density=6), sampling_rate=1.0 / 600.0)
+REQUIREMENTS = ApplicationRequirements(
+    energy_budget=0.06, max_delay=4.0, sampling_rate=SCENARIO.sampling_rate
+)
+CONFIG = SimulationConfig(horizon=4000.0, seed=11)
+
+
+def _validate_all():
+    reports = {}
+    for name, model in paper_protocols(SCENARIO).items():
+        solution = EnergyDelayGame(model, REQUIREMENTS, grid_points_per_dimension=48).solve()
+        reports[name] = validate_protocol(model, solution.bargaining.point.parameters, CONFIG)
+    return reports
+
+
+def test_simulation_validates_analytical_models(benchmark):
+    reports = benchmark.pedantic(_validate_all, rounds=1, iterations=1)
+    rows = []
+    for name, report in reports.items():
+        rows.append(
+            {
+                "protocol": report.protocol,
+                "E model [mW]": report.analytical_energy * 1000.0,
+                "E sim [mW]": report.simulated_energy * 1000.0,
+                "E err": f"{report.energy_error:.1%}",
+                "L model [ms]": report.analytical_delay * 1000.0,
+                "L sim [ms]": report.simulated_delay * 1000.0,
+                "L err": f"{report.delay_error:.1%}",
+                "delivery": f"{report.delivery_ratio:.1%}",
+            }
+        )
+    print_series("Model vs simulation at the Nash bargaining point", rows)
+    for name, report in reports.items():
+        assert report.delivery_ratio > 0.95, name
+        assert report.energy_error < 0.35, (name, report.as_dict())
+        assert report.delay_error < 0.6, (name, report.as_dict())

@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark harness.
+
+Every paper figure (and each ablation) has one benchmark per sub-plot.  The
+benches use ``benchmark.pedantic(..., rounds=1, iterations=1)``: the solves
+are deterministic, so a single round both times the reproduction and keeps
+the whole harness fast enough to run routinely.  Each bench prints the same
+rows/series the paper plots, and asserts the qualitative claims (who wins,
+which way the trade-off point moves) so a regression in the models or the
+solver fails the harness instead of silently changing the story.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.reporting import format_table
+
+#: Solver grid used by the figure benches (coarser than the library default;
+#: the SLSQP polish makes the final optima identical to within tolerance).
+BENCH_GRID = 48
+
+
+def print_series(title: str, rows) -> None:
+    """Print a labelled series table below the benchmark output."""
+    print(f"\n=== {title} ===")
+    print(format_table(rows))
+
+
+@pytest.fixture(scope="session")
+def figure_grid() -> int:
+    """Grid resolution shared by the figure benches."""
+    return BENCH_GRID

@@ -1,0 +1,29 @@
+"""Analysis utilities: sweeps, validation, scalability and reporting.
+
+* :mod:`repro.analysis.sweep` — requirement sweeps over one or many
+  protocols (the machinery behind the figure reproductions).
+* :mod:`repro.analysis.validation` — analytical-model vs simulation
+  comparison.
+* :mod:`repro.analysis.scalability` — solve-time and solution behaviour as
+  the network grows (the paper's scalability claim).
+* :mod:`repro.analysis.reporting` — plain-text tables and CSV writers used
+  by the examples, the CLI and the benches.
+"""
+
+from repro.analysis.sweep import SweepResult, sweep_delay_bound, sweep_energy_budget
+from repro.analysis.validation import ValidationReport, validate_protocol
+from repro.analysis.scalability import ScalabilityRecord, scalability_study
+from repro.analysis.reporting import format_table, solutions_to_rows, write_csv
+
+__all__ = [
+    "SweepResult",
+    "sweep_delay_bound",
+    "sweep_energy_budget",
+    "ValidationReport",
+    "validate_protocol",
+    "ScalabilityRecord",
+    "scalability_study",
+    "format_table",
+    "solutions_to_rows",
+    "write_csv",
+]

@@ -1,0 +1,86 @@
+"""Plain-text and CSV reporting helpers.
+
+The library has no plotting dependency; the figure reproductions are emitted
+as aligned text tables (the same rows/series the paper plots) and optional
+CSV files, which keeps the benches runnable in any environment.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Sequence, Union
+
+from repro.core.results import GameSolution
+from repro.exceptions import ConfigurationError
+
+Row = Mapping[str, object]
+
+
+def solutions_to_rows(
+    solutions: Iterable[GameSolution], swept_name: str, swept_values: Iterable[float]
+) -> List[Dict[str, object]]:
+    """Convert game solutions of a sweep into flat, printable rows."""
+    rows: List[Dict[str, object]] = []
+    for value, solution in zip(swept_values, solutions):
+        rows.append(
+            {
+                "protocol": solution.protocol,
+                swept_name: value,
+                "E_best[J/s]": solution.energy_best,
+                "L_worst[ms]": solution.delay_worst * 1000.0,
+                "E_worst[J/s]": solution.energy_worst,
+                "L_best[ms]": solution.delay_best * 1000.0,
+                "E_star[J/s]": solution.energy_star,
+                "L_star[ms]": solution.delay_star * 1000.0,
+                "fairness": solution.bargaining.fairness_residual,
+            }
+        )
+    return rows
+
+
+def _format_value(value: object, precision: int) -> str:
+    if isinstance(value, float):
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def format_table(rows: Sequence[Row], precision: int = 5) -> str:
+    """Render rows as an aligned plain-text table.
+
+    All rows must share the same keys (the first row defines the column
+    order).
+    """
+    rows = list(rows)
+    if not rows:
+        return "(no rows)"
+    columns = list(rows[0].keys())
+    for row in rows:
+        if list(row.keys()) != columns:
+            raise ConfigurationError("all rows must have the same columns in the same order")
+    rendered = [[_format_value(row[column], precision) for column in columns] for row in rows]
+    widths = [
+        max(len(columns[i]), max(len(line[i]) for line in rendered)) for i in range(len(columns))
+    ]
+    header = "  ".join(column.ljust(widths[i]) for i, column in enumerate(columns))
+    separator = "  ".join("-" * widths[i] for i in range(len(columns)))
+    body = [
+        "  ".join(line[i].ljust(widths[i]) for i in range(len(columns))) for line in rendered
+    ]
+    return "\n".join([header, separator, *body])
+
+
+def write_csv(rows: Sequence[Row], path: Union[str, Path]) -> Path:
+    """Write rows to a CSV file and return the path."""
+    rows = list(rows)
+    if not rows:
+        raise ConfigurationError("cannot write an empty CSV")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    columns = list(rows[0].keys())
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=columns)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({key: row.get(key, "") for key in columns})
+    return path

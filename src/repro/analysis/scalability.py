@@ -1,0 +1,84 @@
+"""Scalability study.
+
+The paper claims the framework is "scalable with the increase in the number
+of nodes, as the players represent the optimization metrics instead of the
+nodes".  Concretely: the game always has two players and the optimization
+variables are the handful of MAC parameters, so the solve cost grows only
+through the (cheap) evaluation of the closed-form traffic expressions, not
+with the node count.  This module measures exactly that: wall-clock solve
+time and solution values as the topology depth/density (hence node count)
+grow.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple, Type
+
+from repro.core.requirements import ApplicationRequirements
+from repro.core.tradeoff import EnergyDelayGame
+from repro.network.topology import RingTopology
+from repro.protocols.base import DutyCycledMACModel
+from repro.scenario import Scenario
+
+
+@dataclass(frozen=True)
+class ScalabilityRecord:
+    """One point of the scalability study.
+
+    Attributes:
+        depth: Ring count ``D`` of the scenario.
+        density: Neighbourhood size ``C`` of the scenario.
+        node_count: Total number of nodes ``C * D^2``.
+        solve_seconds: Wall-clock time to solve the complete game.
+        energy_star: Agreed energy at the Nash bargaining point.
+        delay_star: Agreed delay at the Nash bargaining point.
+    """
+
+    depth: int
+    density: int
+    node_count: float
+    solve_seconds: float
+    energy_star: float
+    delay_star: float
+
+
+def scalability_study(
+    protocol_class: Type[DutyCycledMACModel],
+    sizes: Iterable[Tuple[int, int]],
+    requirements: ApplicationRequirements,
+    sampling_rate: float = 1.0 / 3600.0,
+    **solver_options: object,
+) -> List[ScalabilityRecord]:
+    """Solve the game across a range of network sizes and time each solve.
+
+    Args:
+        protocol_class: Protocol model class to instantiate per size.
+        sizes: Iterable of ``(depth, density)`` pairs.
+        requirements: Application requirements applied to every size.
+        sampling_rate: Application sampling rate used in every scenario.
+        solver_options: Extra options forwarded to the game solver.
+    """
+    records: List[ScalabilityRecord] = []
+    for depth, density in sizes:
+        scenario = Scenario(
+            topology=RingTopology(depth=int(depth), density=int(density)),
+            sampling_rate=sampling_rate,
+        )
+        model = protocol_class(scenario)
+        game = EnergyDelayGame(model, requirements, **solver_options)
+        started = time.perf_counter()
+        solution = game.solve()
+        elapsed = time.perf_counter() - started
+        records.append(
+            ScalabilityRecord(
+                depth=int(depth),
+                density=int(density),
+                node_count=scenario.topology.total_nodes(),
+                solve_seconds=elapsed,
+                energy_star=solution.energy_star,
+                delay_star=solution.delay_star,
+            )
+        )
+    return records

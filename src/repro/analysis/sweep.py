@@ -1,0 +1,119 @@
+"""Requirement sweeps.
+
+The paper's two figures are sweeps of the application requirements: Figure 1
+fixes the energy budget and varies the delay bound, Figure 2 fixes the delay
+bound and varies the energy budget.  These helpers run such sweeps for one or
+several protocols and return structured results the reporting layer and the
+benches can print.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.core.requirements import ApplicationRequirements
+from repro.core.results import GameSolution
+from repro.core.tradeoff import EnergyDelayGame
+from repro.exceptions import ConfigurationError, InfeasibleProblemError
+from repro.protocols.base import DutyCycledMACModel
+
+
+@dataclass
+class SweepResult:
+    """Result of sweeping one requirement for one protocol.
+
+    Attributes:
+        protocol: Protocol name.
+        swept_parameter: ``"max_delay"`` or ``"energy_budget"``.
+        values: The swept requirement values, in sweep order.
+        solutions: One game solution per feasible value (same order as
+            ``values`` minus the infeasible ones).
+        infeasible_values: Requirement values for which the game had no
+            feasible point.
+    """
+
+    protocol: str
+    swept_parameter: str
+    values: List[float] = field(default_factory=list)
+    solutions: List[GameSolution] = field(default_factory=list)
+    infeasible_values: List[float] = field(default_factory=list)
+
+    @property
+    def feasible_values(self) -> List[float]:
+        """The swept values that produced a solution."""
+        return [value for value in self.values if value not in self.infeasible_values]
+
+    def series(self) -> List[Dict[str, float]]:
+        """One flat row per feasible sweep value (for tables and CSV)."""
+        rows: List[Dict[str, float]] = []
+        for value, solution in zip(self.feasible_values, self.solutions):
+            rows.append(
+                {
+                    "protocol": self.protocol,
+                    self.swept_parameter: value,
+                    "E_best": solution.energy_best,
+                    "L_worst": solution.delay_worst,
+                    "E_worst": solution.energy_worst,
+                    "L_best": solution.delay_best,
+                    "E_star": solution.energy_star,
+                    "L_star": solution.delay_star,
+                    "fairness_residual": solution.bargaining.fairness_residual,
+                }
+            )
+        return rows
+
+
+def _run_sweep(
+    model: DutyCycledMACModel,
+    base_requirements: ApplicationRequirements,
+    parameter: str,
+    values: Sequence[float],
+    solver_options: Mapping[str, object],
+) -> SweepResult:
+    if parameter not in ("max_delay", "energy_budget"):
+        raise ConfigurationError(f"unknown swept parameter {parameter!r}")
+    result = SweepResult(protocol=model.name, swept_parameter=parameter, values=list(values))
+    for value in values:
+        if parameter == "max_delay":
+            requirements = base_requirements.with_max_delay(float(value))
+        else:
+            requirements = base_requirements.with_energy_budget(float(value))
+        game = EnergyDelayGame(model, requirements, **dict(solver_options))
+        try:
+            result.solutions.append(game.solve())
+        except InfeasibleProblemError:
+            result.infeasible_values.append(float(value))
+    return result
+
+
+def sweep_delay_bound(
+    model: DutyCycledMACModel,
+    energy_budget: float,
+    delay_bounds: Iterable[float],
+    sampling_rate: Optional[float] = None,
+    **solver_options: object,
+) -> SweepResult:
+    """Figure-1-style sweep: fix ``Ebudget`` and vary ``Lmax``."""
+    requirements = ApplicationRequirements(
+        energy_budget=energy_budget,
+        max_delay=max(delay_bounds := list(delay_bounds)),
+        sampling_rate=sampling_rate or model.scenario.sampling_rate,
+    )
+    return _run_sweep(model, requirements, "max_delay", delay_bounds, solver_options)
+
+
+def sweep_energy_budget(
+    model: DutyCycledMACModel,
+    max_delay: float,
+    energy_budgets: Iterable[float],
+    sampling_rate: Optional[float] = None,
+    **solver_options: object,
+) -> SweepResult:
+    """Figure-2-style sweep: fix ``Lmax`` and vary ``Ebudget``."""
+    requirements = ApplicationRequirements(
+        energy_budget=max(energy_budgets := list(energy_budgets)),
+        max_delay=max_delay,
+        sampling_rate=sampling_rate or model.scenario.sampling_rate,
+    )
+    return _run_sweep(model, requirements, "energy_budget", energy_budgets, solver_options)

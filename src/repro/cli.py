@@ -1,0 +1,205 @@
+"""Command-line interface.
+
+``repro-mac-game`` (or ``python -m repro.cli``) exposes the main workflows:
+
+* ``solve``     — solve the energy-delay game for one protocol,
+* ``sweep``     — sweep a requirement and print the series,
+* ``figure1``   — regenerate the paper's Figure 1 series,
+* ``figure2``   — regenerate the paper's Figure 2 series,
+* ``validate``  — compare the analytical model against the simulator,
+* ``protocols`` — list the available protocol models.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.reporting import format_table, solutions_to_rows, write_csv
+from repro.analysis.sweep import sweep_delay_bound, sweep_energy_budget
+from repro.analysis.validation import validate_protocol
+from repro.core.requirements import ApplicationRequirements
+from repro.core.tradeoff import EnergyDelayGame
+from repro.experiments.figure1 import figure1_rows, reproduce_figure1
+from repro.experiments.figure2 import figure2_rows, reproduce_figure2
+from repro.network.radio import radio_by_name
+from repro.network.topology import RingTopology
+from repro.protocols.registry import available_protocols, create_protocol
+from repro.scenario import Scenario
+from repro.simulation.runner import SimulationConfig
+
+
+def _build_scenario(args: argparse.Namespace) -> Scenario:
+    return Scenario(
+        topology=RingTopology(depth=args.depth, density=args.density),
+        sampling_rate=1.0 / args.sampling_period,
+        radio=radio_by_name(args.radio),
+    )
+
+
+def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--depth", type=int, default=5, help="number of rings D (default 5)")
+    parser.add_argument("--density", type=int, default=8, help="neighbourhood size C (default 8)")
+    parser.add_argument(
+        "--sampling-period",
+        type=float,
+        default=3600.0,
+        help="application sampling period in seconds (default 3600)",
+    )
+    parser.add_argument("--radio", default="cc2420", help="radio preset (cc2420, cc1100, tr1001)")
+    parser.add_argument(
+        "--grid-points",
+        type=int,
+        default=60,
+        help="grid resolution per parameter dimension for the hybrid solver",
+    )
+
+
+def _cmd_protocols(_: argparse.Namespace) -> int:
+    for name in available_protocols():
+        print(name)
+    return 0
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    scenario = _build_scenario(args)
+    model = create_protocol(args.protocol, scenario)
+    requirements = ApplicationRequirements(
+        energy_budget=args.energy_budget,
+        max_delay=args.max_delay,
+        sampling_rate=scenario.sampling_rate,
+    )
+    game = EnergyDelayGame(model, requirements, grid_points_per_dimension=args.grid_points)
+    solution = game.solve()
+    rows = [
+        {"quantity": "E_best [J/s]", "value": solution.energy_best},
+        {"quantity": "L_worst [ms]", "value": solution.delay_worst * 1000.0},
+        {"quantity": "E_worst [J/s]", "value": solution.energy_worst},
+        {"quantity": "L_best [ms]", "value": solution.delay_best * 1000.0},
+        {"quantity": "E_star [J/s]", "value": solution.energy_star},
+        {"quantity": "L_star [ms]", "value": solution.delay_star * 1000.0},
+        {"quantity": "fairness residual", "value": solution.bargaining.fairness_residual},
+    ]
+    print(f"# {model.name} — Ebudget={args.energy_budget} J/s, Lmax={args.max_delay} s")
+    print(format_table(rows))
+    print("# bargaining parameters:", dict(solution.bargaining.point.parameters))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    scenario = _build_scenario(args)
+    model = create_protocol(args.protocol, scenario)
+    values = [float(v) for v in args.values]
+    if args.vary == "max-delay":
+        result = sweep_delay_bound(
+            model,
+            energy_budget=args.energy_budget,
+            delay_bounds=values,
+            grid_points_per_dimension=args.grid_points,
+        )
+    else:
+        result = sweep_energy_budget(
+            model,
+            max_delay=args.max_delay,
+            energy_budgets=values,
+            grid_points_per_dimension=args.grid_points,
+        )
+    rows = result.series()
+    print(format_table(rows))
+    if args.csv:
+        path = write_csv(rows, args.csv)
+        print(f"# wrote {path}")
+    if result.infeasible_values:
+        print(f"# infeasible values: {result.infeasible_values}")
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace, which: int) -> int:
+    if which == 1:
+        results = reproduce_figure1(grid_points_per_dimension=args.grid_points)
+        rows = figure1_rows(results)
+    else:
+        results = reproduce_figure2(grid_points_per_dimension=args.grid_points)
+        rows = figure2_rows(results)
+    print(format_table(rows))
+    if args.csv:
+        path = write_csv(rows, args.csv)
+        print(f"# wrote {path}")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    scenario = _build_scenario(args)
+    model = create_protocol(args.protocol, scenario)
+    space = model.parameter_space
+    params = space.to_dict(space.midpoint())
+    report = validate_protocol(
+        model,
+        params,
+        SimulationConfig(horizon=args.horizon, seed=args.seed),
+    )
+    rows = [{"quantity": key, "value": value} for key, value in report.as_dict().items()]
+    print(format_table(rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-mac-game",
+        description="Game-theoretic energy-delay balancing for duty-cycled MAC protocols",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    protocols_parser = subparsers.add_parser("protocols", help="list available protocols")
+    protocols_parser.set_defaults(handler=_cmd_protocols)
+
+    solve_parser = subparsers.add_parser("solve", help="solve the game for one protocol")
+    solve_parser.add_argument("protocol", help="protocol name (xmac, dmac, lmac, scpmac)")
+    solve_parser.add_argument("--energy-budget", type=float, default=0.06)
+    solve_parser.add_argument("--max-delay", type=float, default=6.0)
+    _add_scenario_arguments(solve_parser)
+    solve_parser.set_defaults(handler=_cmd_solve)
+
+    sweep_parser = subparsers.add_parser("sweep", help="sweep a requirement")
+    sweep_parser.add_argument("protocol")
+    sweep_parser.add_argument("--vary", choices=("max-delay", "energy-budget"), required=True)
+    sweep_parser.add_argument("--values", nargs="+", required=True)
+    sweep_parser.add_argument("--energy-budget", type=float, default=0.06)
+    sweep_parser.add_argument("--max-delay", type=float, default=6.0)
+    sweep_parser.add_argument("--csv", default=None, help="optional CSV output path")
+    _add_scenario_arguments(sweep_parser)
+    sweep_parser.set_defaults(handler=_cmd_sweep)
+
+    figure1_parser = subparsers.add_parser("figure1", help="regenerate the paper's Figure 1")
+    figure1_parser.add_argument("--csv", default=None)
+    _add_scenario_arguments(figure1_parser)
+    figure1_parser.set_defaults(handler=lambda args: _cmd_figure(args, 1))
+
+    figure2_parser = subparsers.add_parser("figure2", help="regenerate the paper's Figure 2")
+    figure2_parser.add_argument("--csv", default=None)
+    _add_scenario_arguments(figure2_parser)
+    figure2_parser.set_defaults(handler=lambda args: _cmd_figure(args, 2))
+
+    validate_parser = subparsers.add_parser(
+        "validate", help="compare the analytical model against the simulator"
+    )
+    validate_parser.add_argument("protocol")
+    validate_parser.add_argument("--horizon", type=float, default=2000.0)
+    validate_parser.add_argument("--seed", type=int, default=1)
+    _add_scenario_arguments(validate_parser)
+    validate_parser.set_defaults(handler=_cmd_validate)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    return int(args.handler(args))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

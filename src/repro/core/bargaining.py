@@ -1,0 +1,135 @@
+"""Nash bargaining solver for the energy-delay game.
+
+This module orchestrates the complete game of Section 2 of the paper for one
+protocol and one set of application requirements:
+
+1. solve (P1) — the energy player's problem — giving ``(Ebest, Lworst)``;
+2. solve (P2) — the delay player's problem — giving ``(Eworst, Lbest)``;
+3. build the disagreement point ``(Eworst, Lworst)`` and solve the concave
+   reformulation (P4), giving the agreed point ``(E*, L*)``;
+4. evaluate the proportional-fairness identity at the agreement.
+
+The result is a :class:`~repro.core.results.GameSolution`, the record behind
+each cluster of points in the paper's figures.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.fairness import proportional_fairness_residual
+from repro.core.problems import (
+    DelayMinimizationProblem,
+    EnergyMinimizationProblem,
+    NashBargainingProblem,
+)
+from repro.core.requirements import ApplicationRequirements
+from repro.core.results import BargainingOutcome, GameSolution, OptimizationOutcome
+from repro.exceptions import ConfigurationError
+from repro.optimization.hybrid import hybrid_solve
+from repro.optimization.result import SolverResult
+from repro.protocols.base import DutyCycledMACModel
+
+
+class NashBargainingSolver:
+    """Solves the full energy-delay bargaining game for one protocol.
+
+    Args:
+        solver: Constrained-optimization backend used for (P1), (P2) and
+            (P4); defaults to the grid-seeded SLSQP hybrid.
+        solver_options: Extra keyword arguments forwarded to the backend
+            (e.g. ``grid_points_per_dimension``).
+    """
+
+    def __init__(
+        self,
+        solver: Callable[..., SolverResult] = hybrid_solve,
+        **solver_options: object,
+    ) -> None:
+        if not callable(solver):
+            raise ConfigurationError("solver must be callable")
+        self._solver = solver
+        self._solver_options = dict(solver_options)
+
+    # ------------------------------------------------------------------ #
+    # Individual stages (exposed for tests and ablations)
+    # ------------------------------------------------------------------ #
+
+    def solve_energy_problem(
+        self, model: DutyCycledMACModel, requirements: ApplicationRequirements
+    ) -> OptimizationOutcome:
+        """Solve (P1): minimize energy subject to the delay bound."""
+        problem = EnergyMinimizationProblem(model, requirements)
+        return problem.solve(self._solver, **self._solver_options)
+
+    def solve_delay_problem(
+        self, model: DutyCycledMACModel, requirements: ApplicationRequirements
+    ) -> OptimizationOutcome:
+        """Solve (P2): minimize delay subject to the energy budget."""
+        problem = DelayMinimizationProblem(model, requirements)
+        return problem.solve(self._solver, **self._solver_options)
+
+    def solve_bargaining_problem(
+        self,
+        model: DutyCycledMACModel,
+        requirements: ApplicationRequirements,
+        energy_optimum: OptimizationOutcome,
+        delay_optimum: OptimizationOutcome,
+    ) -> BargainingOutcome:
+        """Solve (P4) given the two single-objective outcomes."""
+        disagreement_energy = delay_optimum.point.energy  # Eworst
+        disagreement_delay = energy_optimum.point.delay  # Lworst
+        problem = NashBargainingProblem(
+            model,
+            requirements,
+            disagreement_energy=disagreement_energy,
+            disagreement_delay=disagreement_delay,
+        )
+        point, solver_result = problem.solve(self._solver, **self._solver_options)
+        residual = proportional_fairness_residual(
+            energy_star=point.energy,
+            delay_star=point.delay,
+            energy_best=energy_optimum.point.energy,
+            energy_worst=disagreement_energy,
+            delay_best=delay_optimum.point.delay,
+            delay_worst=disagreement_delay,
+        )
+        return BargainingOutcome(
+            point=point,
+            nash_product=problem.nash_product(solver_result.x),
+            disagreement_energy=disagreement_energy,
+            disagreement_delay=disagreement_delay,
+            energy_gain=max(0.0, disagreement_energy - point.energy),
+            delay_gain=max(0.0, disagreement_delay - point.delay),
+            fairness_residual=residual,
+            solver=solver_result.method,
+            evaluations=solver_result.evaluations,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Full game
+    # ------------------------------------------------------------------ #
+
+    def solve(
+        self, model: DutyCycledMACModel, requirements: ApplicationRequirements
+    ) -> GameSolution:
+        """Run the complete (P1) → (P2) → (P4) pipeline for one protocol.
+
+        Raises:
+            InfeasibleProblemError: if either single-objective problem has no
+                feasible point (the application requirements cannot be met by
+                this protocol in this scenario).
+        """
+        energy_optimum = self.solve_energy_problem(model, requirements)
+        delay_optimum = self.solve_delay_problem(model, requirements)
+        bargaining = self.solve_bargaining_problem(
+            model, requirements, energy_optimum, delay_optimum
+        )
+        return GameSolution(
+            protocol=model.name,
+            energy_budget=requirements.energy_budget,
+            max_delay=requirements.max_delay,
+            energy_optimum=energy_optimum,
+            delay_optimum=delay_optimum,
+            bargaining=bargaining,
+        )

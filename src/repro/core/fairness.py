@@ -1,0 +1,104 @@
+"""Proportional-fairness identity of the Nash bargaining point.
+
+The paper (following Zhao et al.) notes that choosing ``(Eworst, Lworst)`` as
+the disagreement point makes the Nash bargaining solution *proportionally
+fair*:
+
+    (E* - Eworst) / (Ebest - Eworst) = (L* - Lworst) / (Lbest - Lworst)
+
+i.e. both players give up the same fraction of the distance between their
+worst and best achievable values.  This module computes the two sides of the
+identity and their residual; the tests and the figure benches assert that the
+residual vanishes (up to solver tolerance) for every protocol and every
+requirement pair.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.exceptions import ConfigurationError
+
+
+def _relative_concession(star: float, worst: float, best: float) -> float:
+    """Fraction of the worst-to-best distance conceded by one player.
+
+    Returns ``(star - worst) / (best - worst)``; a value of 0 means the
+    player ended at its threat value, 1 means it obtained its best value.
+    """
+    span = best - worst
+    if span == 0.0:
+        # Degenerate player: its best and worst coincide, so any agreement
+        # concedes "everything and nothing"; treat as fully satisfied.
+        return 1.0
+    return (star - worst) / span
+
+
+def fairness_shares(
+    energy_star: float,
+    delay_star: float,
+    energy_best: float,
+    energy_worst: float,
+    delay_best: float,
+    delay_worst: float,
+) -> Tuple[float, float]:
+    """Return the two sides of the proportional-fairness identity.
+
+    The first element is the energy player's share
+    ``(E* - Eworst) / (Ebest - Eworst)``, the second the delay player's share
+    ``(L* - Lworst) / (Lbest - Lworst)``.
+    """
+    for name, value in (
+        ("energy_star", energy_star),
+        ("delay_star", delay_star),
+        ("energy_best", energy_best),
+        ("energy_worst", energy_worst),
+        ("delay_best", delay_best),
+        ("delay_worst", delay_worst),
+    ):
+        if not isinstance(value, (int, float)):
+            raise ConfigurationError(f"{name} must be numeric, got {value!r}")
+    energy_share = _relative_concession(energy_star, energy_worst, energy_best)
+    delay_share = _relative_concession(delay_star, delay_worst, delay_best)
+    return energy_share, delay_share
+
+
+def proportional_fairness_residual(
+    energy_star: float,
+    delay_star: float,
+    energy_best: float,
+    energy_worst: float,
+    delay_best: float,
+    delay_worst: float,
+) -> float:
+    """Difference between the two sides of the proportional-fairness identity.
+
+    Zero means the agreement is exactly proportionally fair; the sign tells
+    which player got the better deal (positive: the energy player obtained a
+    larger share of its achievable improvement than the delay player).
+    """
+    energy_share, delay_share = fairness_shares(
+        energy_star, delay_star, energy_best, energy_worst, delay_best, delay_worst
+    )
+    return energy_share - delay_share
+
+
+def is_proportionally_fair(
+    energy_star: float,
+    delay_star: float,
+    energy_best: float,
+    energy_worst: float,
+    delay_best: float,
+    delay_worst: float,
+    tolerance: float = 5e-2,
+) -> bool:
+    """Whether the agreement satisfies the identity within ``tolerance``.
+
+    The default tolerance is deliberately loose (a few percent): the identity
+    holds exactly for the continuous problem, but the numerical solution of
+    (P1), (P2) and (P4) introduces small errors on both sides.
+    """
+    residual = proportional_fairness_residual(
+        energy_star, delay_star, energy_best, energy_worst, delay_best, delay_worst
+    )
+    return abs(residual) <= tolerance

@@ -1,0 +1,245 @@
+"""Tunable MAC parameter vectors.
+
+The paper denotes by ``Theta`` the set of parameters that can be optimized
+and by ``X in Theta`` the vector of protocol-specific tunables (wake-up
+interval for X-MAC, frame length for DMAC, slot length and slot count for
+LMAC).  This module provides a small, explicit representation of such
+parameter vectors: named scalars with box bounds, plus helpers to convert
+between dictionaries and plain ``numpy`` arrays for the solvers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Parameter:
+    """One tunable protocol parameter.
+
+    Attributes:
+        name: Identifier used in result dictionaries (e.g. ``"wakeup_interval"``).
+        lower: Lower bound (inclusive).
+        upper: Upper bound (inclusive).
+        unit: Human-readable unit, for reports (e.g. ``"s"``).
+        description: One-line explanation of what the parameter controls.
+        integer: Whether the parameter is physically integer-valued (e.g. a
+            slot count).  Solvers treat it as continuous and round at the end.
+    """
+
+    name: str
+    lower: float
+    upper: float
+    unit: str = ""
+    description: str = ""
+    integer: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise ConfigurationError(f"parameter name must be a non-empty string, got {self.name!r}")
+        if not (math.isfinite(self.lower) and math.isfinite(self.upper)):
+            raise ConfigurationError(f"bounds of {self.name!r} must be finite")
+        if self.lower > self.upper:
+            raise ConfigurationError(
+                f"parameter {self.name!r} has empty range [{self.lower}, {self.upper}]"
+            )
+
+    @property
+    def span(self) -> float:
+        """Width of the admissible interval."""
+        return self.upper - self.lower
+
+    @property
+    def midpoint(self) -> float:
+        """Centre of the admissible interval."""
+        return 0.5 * (self.lower + self.upper)
+
+    def contains(self, value: float, tolerance: float = 1e-9) -> bool:
+        """Whether ``value`` lies inside the bounds (with a small tolerance)."""
+        return (self.lower - tolerance) <= value <= (self.upper + tolerance)
+
+    def clip(self, value: float) -> float:
+        """Project ``value`` onto the admissible interval."""
+        return min(self.upper, max(self.lower, float(value)))
+
+    def sample_grid(self, count: int) -> np.ndarray:
+        """Return ``count`` evenly spaced admissible values (log-spaced when
+        the interval spans more than two orders of magnitude and is positive)."""
+        if count < 1:
+            raise ConfigurationError(f"grid count must be >= 1, got {count!r}")
+        if count == 1 or self.span == 0.0:
+            return np.array([self.midpoint])
+        if self.lower > 0 and self.upper / self.lower > 100.0:
+            return np.geomspace(self.lower, self.upper, count)
+        return np.linspace(self.lower, self.upper, count)
+
+
+class ParameterSpace:
+    """An ordered collection of :class:`Parameter` objects.
+
+    The order defines the layout of the plain arrays exchanged with the
+    numerical solvers.
+    """
+
+    def __init__(self, parameters: Sequence[Parameter]) -> None:
+        parameters = list(parameters)
+        if not parameters:
+            raise ConfigurationError("a parameter space needs at least one parameter")
+        names = [p.name for p in parameters]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate parameter names: {names}")
+        self._parameters: List[Parameter] = parameters
+        self._index: Dict[str, int] = {p.name: i for i, p in enumerate(parameters)}
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self._parameters)
+
+    def __iter__(self) -> Iterator[Parameter]:
+        return iter(self._parameters)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._index
+
+    def __getitem__(self, name: str) -> Parameter:
+        try:
+            return self._parameters[self._index[name]]
+        except KeyError as exc:
+            raise ConfigurationError(
+                f"unknown parameter {name!r}; known: {self.names}"
+            ) from exc
+
+    @property
+    def names(self) -> List[str]:
+        """Parameter names in solver order."""
+        return [p.name for p in self._parameters]
+
+    @property
+    def dimension(self) -> int:
+        """Number of tunable parameters."""
+        return len(self._parameters)
+
+    @property
+    def lower_bounds(self) -> np.ndarray:
+        """Vector of lower bounds in solver order."""
+        return np.array([p.lower for p in self._parameters], dtype=float)
+
+    @property
+    def upper_bounds(self) -> np.ndarray:
+        """Vector of upper bounds in solver order."""
+        return np.array([p.upper for p in self._parameters], dtype=float)
+
+    @property
+    def bounds(self) -> List[Tuple[float, float]]:
+        """List of ``(lower, upper)`` pairs, the format SciPy expects."""
+        return [(p.lower, p.upper) for p in self._parameters]
+
+    # ------------------------------------------------------------------ #
+    # Conversions
+    # ------------------------------------------------------------------ #
+
+    def to_array(self, values: Mapping[str, float]) -> np.ndarray:
+        """Convert a ``{name: value}`` mapping into a solver-ordered array.
+
+        Raises:
+            ConfigurationError: if a parameter is missing or unknown names
+                are present.
+        """
+        unknown = set(values) - set(self._index)
+        if unknown:
+            raise ConfigurationError(f"unknown parameter(s): {sorted(unknown)}")
+        missing = set(self._index) - set(values)
+        if missing:
+            raise ConfigurationError(f"missing parameter(s): {sorted(missing)}")
+        return np.array([float(values[name]) for name in self.names], dtype=float)
+
+    def to_dict(self, array: Sequence[float]) -> Dict[str, float]:
+        """Convert a solver-ordered array into a ``{name: value}`` mapping."""
+        array = np.asarray(array, dtype=float).ravel()
+        if array.shape[0] != self.dimension:
+            raise ConfigurationError(
+                f"expected {self.dimension} values, got {array.shape[0]}"
+            )
+        return {name: float(array[i]) for i, name in enumerate(self.names)}
+
+    # ------------------------------------------------------------------ #
+    # Geometry
+    # ------------------------------------------------------------------ #
+
+    def contains(self, array: Sequence[float], tolerance: float = 1e-9) -> bool:
+        """Whether a point lies inside the box (with tolerance)."""
+        array = np.asarray(array, dtype=float).ravel()
+        if array.shape[0] != self.dimension:
+            return False
+        return all(
+            parameter.contains(value, tolerance)
+            for parameter, value in zip(self._parameters, array)
+        )
+
+    def clip(self, array: Sequence[float]) -> np.ndarray:
+        """Project a point onto the box."""
+        array = np.asarray(array, dtype=float).ravel()
+        if array.shape[0] != self.dimension:
+            raise ConfigurationError(
+                f"expected {self.dimension} values, got {array.shape[0]}"
+            )
+        return np.clip(array, self.lower_bounds, self.upper_bounds)
+
+    def midpoint(self) -> np.ndarray:
+        """Centre of the box, a robust solver starting point."""
+        return np.array([p.midpoint for p in self._parameters], dtype=float)
+
+    def grid(self, points_per_dimension: int) -> np.ndarray:
+        """Full-factorial grid over the box.
+
+        Returns an array of shape ``(points_per_dimension ** dim, dim)``.
+        Only intended for the low-dimensional (1–3 parameters) spaces used by
+        the MAC models; the size is validated to avoid surprises.
+        """
+        if points_per_dimension < 1:
+            raise ConfigurationError("points_per_dimension must be >= 1")
+        total = points_per_dimension**self.dimension
+        if total > 2_000_000:
+            raise ConfigurationError(
+                f"grid of {total} points is too large; reduce points_per_dimension"
+            )
+        axes = [p.sample_grid(points_per_dimension) for p in self._parameters]
+        mesh = np.meshgrid(*axes, indexing="ij")
+        return np.stack([m.ravel() for m in mesh], axis=-1)
+
+    def random_points(self, count: int, seed: int = 0) -> np.ndarray:
+        """Uniform random points inside the box (for multi-start solvers)."""
+        if count < 1:
+            raise ConfigurationError("count must be >= 1")
+        rng = np.random.default_rng(seed)
+        unit = rng.uniform(0.0, 1.0, size=(count, self.dimension))
+        return self.lower_bounds + unit * (self.upper_bounds - self.lower_bounds)
+
+    def describe(self) -> List[Dict[str, object]]:
+        """Structured description used in reports."""
+        return [
+            {
+                "name": p.name,
+                "lower": p.lower,
+                "upper": p.upper,
+                "unit": p.unit,
+                "integer": p.integer,
+                "description": p.description,
+            }
+            for p in self._parameters
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(
+            f"{p.name}∈[{p.lower:g},{p.upper:g}]" for p in self._parameters
+        )
+        return f"ParameterSpace({inner})"

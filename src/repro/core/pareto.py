@@ -1,0 +1,110 @@
+"""Energy-delay Pareto frontier utilities.
+
+The curves behind the paper's figures are the protocols' energy-delay
+frontiers: the set of operating points for which no admissible parameter
+change improves one metric without degrading the other.  These helpers work
+on arrays of cost pairs (minimization sense for both coordinates).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+def _as_cost_array(points: Iterable[Sequence[float]]) -> np.ndarray:
+    array = np.asarray(list(points), dtype=float)
+    if array.ndim != 2 or array.shape[1] != 2:
+        raise ConfigurationError(f"expected an (n, 2) array of cost pairs, got shape {array.shape}")
+    if not np.all(np.isfinite(array)):
+        raise ConfigurationError("cost pairs contain non-finite values")
+    return array
+
+
+def is_pareto_efficient(points: Iterable[Sequence[float]]) -> np.ndarray:
+    """Boolean mask of Pareto-efficient points (both coordinates minimized).
+
+    A point is efficient when no other point is at least as good in both
+    coordinates and strictly better in one.
+    """
+    costs = _as_cost_array(points)
+    count = costs.shape[0]
+    efficient = np.ones(count, dtype=bool)
+    for index in range(count):
+        if not efficient[index]:
+            continue
+        dominates = np.all(costs <= costs[index], axis=1) & np.any(costs < costs[index], axis=1)
+        if np.any(dominates):
+            efficient[index] = False
+    return efficient
+
+
+def pareto_frontier(points: Iterable[Sequence[float]]) -> np.ndarray:
+    """Return the Pareto-efficient subset sorted by the first coordinate.
+
+    The result is an ``(m, 2)`` array: the frontier curve from the cheapest
+    (lowest-energy) to the fastest (lowest-delay) end, which is how the
+    figure benches print the series.
+    """
+    costs = _as_cost_array(points)
+    mask = is_pareto_efficient(costs)
+    frontier = costs[mask]
+    order = np.argsort(frontier[:, 0], kind="stable")
+    return frontier[order]
+
+
+def hypervolume_2d(
+    points: Iterable[Sequence[float]], reference: Sequence[float]
+) -> float:
+    """Dominated hypervolume (area) of a 2-D minimization frontier.
+
+    The hypervolume with respect to a reference (worst-case) point is a
+    scalar quality indicator of a frontier; the ablation benches use it to
+    compare frontiers produced by different solvers.
+
+    Raises:
+        ConfigurationError: if the reference point does not dominate-worse
+            every frontier point (which would make the area ill-defined).
+    """
+    frontier = pareto_frontier(points)
+    ref = np.asarray(reference, dtype=float).ravel()
+    if ref.shape != (2,):
+        raise ConfigurationError(f"reference must be a pair, got {reference!r}")
+    if np.any(frontier[:, 0] > ref[0]) or np.any(frontier[:, 1] > ref[1]):
+        raise ConfigurationError("reference point must be worse than every frontier point")
+    area = 0.0
+    previous_second = ref[1]
+    for first, second in frontier:
+        width = ref[0] - first
+        height = previous_second - second
+        if height < 0:
+            continue
+        area += width * height
+        previous_second = second
+    return float(area)
+
+
+def attainment_curve(
+    points: Iterable[Sequence[float]], grid: Sequence[float]
+) -> List[Tuple[float, float]]:
+    """Best achievable second coordinate for each bound on the first.
+
+    For each value ``g`` in ``grid`` (interpreted as a cap on the first
+    coordinate, e.g. an energy budget), returns the minimum second coordinate
+    among points whose first coordinate is below ``g`` — ``inf`` if none is.
+    Useful for turning a frontier sample into "delay achievable under budget"
+    tables.
+    """
+    costs = _as_cost_array(points)
+    curve: List[Tuple[float, float]] = []
+    for bound in grid:
+        bound = float(bound)
+        admissible = costs[costs[:, 0] <= bound]
+        if admissible.size == 0:
+            curve.append((bound, float("inf")))
+        else:
+            curve.append((bound, float(admissible[:, 1].min())))
+    return curve

@@ -1,0 +1,305 @@
+"""The paper's optimization problems (P1), (P2) and (P4).
+
+Each problem class binds a protocol's analytical model to the application
+requirements and exposes a ``solve`` method returning a structured outcome.
+The decision variables are always the protocol's tunable parameters ``X``;
+the auxiliary variables ``(E1, L1)`` of the paper's (P4) are eliminated
+analytically (at the optimum ``E1 = E(X)`` and ``L1 = L(X)``), which leaves a
+smooth box-constrained program that the solvers in
+:mod:`repro.optimization` handle directly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.parameters import ParameterSpace
+from repro.core.requirements import ApplicationRequirements
+from repro.core.results import OptimizationOutcome, TradeoffPoint
+from repro.exceptions import ConfigurationError, InfeasibleProblemError
+from repro.optimization.hybrid import hybrid_solve
+from repro.optimization.result import SolverResult
+from repro.protocols.base import DutyCycledMACModel
+
+#: Relative tolerance used to decide which constraint is binding at an optimum.
+_BINDING_TOLERANCE = 1e-3
+
+
+def _binding_constraint(
+    model: DutyCycledMACModel,
+    requirements: ApplicationRequirements,
+    x: np.ndarray,
+) -> str:
+    """Classify which constraint is active at the point ``x``."""
+    energy = model.system_energy(x)
+    delay = model.system_latency(x)
+    space = model.parameter_space
+    if delay >= requirements.max_delay * (1.0 - _BINDING_TOLERANCE):
+        return "delay-bound"
+    if energy >= requirements.energy_budget * (1.0 - _BINDING_TOLERANCE):
+        return "energy-budget"
+    if model.capacity_margin(x) <= _BINDING_TOLERANCE * model.max_utilization:
+        return "capacity"
+    lower = space.lower_bounds
+    upper = space.upper_bounds
+    span = np.where(upper > lower, upper - lower, 1.0)
+    if np.any((x - lower) / span <= _BINDING_TOLERANCE) or np.any(
+        (upper - x) / span <= _BINDING_TOLERANCE
+    ):
+        return "parameter-bound"
+    return "interior"
+
+
+class _ProblemBase:
+    """Shared plumbing of the three optimization problems."""
+
+    def __init__(
+        self,
+        model: DutyCycledMACModel,
+        requirements: ApplicationRequirements,
+    ) -> None:
+        if not isinstance(model, DutyCycledMACModel):
+            raise ConfigurationError(
+                f"model must be a DutyCycledMACModel, got {type(model).__name__}"
+            )
+        if not isinstance(requirements, ApplicationRequirements):
+            raise ConfigurationError(
+                f"requirements must be ApplicationRequirements, got {type(requirements).__name__}"
+            )
+        self._model = model
+        self._requirements = requirements
+
+    @property
+    def model(self) -> DutyCycledMACModel:
+        """The protocol model the problem is defined over."""
+        return self._model
+
+    @property
+    def requirements(self) -> ApplicationRequirements:
+        """The application requirements of the problem."""
+        return self._requirements
+
+    @property
+    def space(self) -> ParameterSpace:
+        """The decision-variable box."""
+        return self._model.parameter_space
+
+    def _point(self, x: np.ndarray) -> TradeoffPoint:
+        return TradeoffPoint(
+            parameters=self._model.coerce(x),
+            energy=self._model.system_energy(x),
+            delay=self._model.system_latency(x),
+        )
+
+    def _capacity_constraint(self) -> Callable[[np.ndarray], float]:
+        model = self._model
+        return lambda x: model.capacity_margin(x)
+
+
+class EnergyMinimizationProblem(_ProblemBase):
+    """Problem (P1): minimize ``E(X)`` subject to ``L(X) <= Lmax``.
+
+    The solution gives the energy player's best value ``Ebest`` and, at the
+    same point, the delay ``Lworst`` that the delay player would have to
+    accept if the energy player dictated the parameters.
+    """
+
+    name = "P1-energy"
+
+    def constraints(self) -> List[Callable[[np.ndarray], float]]:
+        """Inequality margins (``>= 0`` feasible): delay bound and capacity."""
+        model = self._model
+        max_delay = self._requirements.max_delay
+        return [
+            lambda x: max_delay - model.system_latency(x),
+            self._capacity_constraint(),
+        ]
+
+    def solve(
+        self,
+        solver: Callable[..., SolverResult] = hybrid_solve,
+        **solver_options: object,
+    ) -> OptimizationOutcome:
+        """Solve (P1) and return the energy-optimal operating point.
+
+        Raises:
+            InfeasibleProblemError: if no admissible parameter vector meets
+                the delay bound.
+        """
+        result = solver(
+            self._model.system_energy,
+            self.space,
+            self.constraints(),
+            maximize=False,
+            **solver_options,
+        )
+        if not result.feasible:
+            raise InfeasibleProblemError(
+                f"{self._model.name}: no parameter setting achieves an end-to-end delay "
+                f"below {self._requirements.max_delay:.3f}s "
+                f"(violation {result.constraint_violation:.3g})"
+            )
+        return OptimizationOutcome(
+            problem=self.name,
+            point=self._point(result.x),
+            feasible=True,
+            solver=result.method,
+            evaluations=result.evaluations,
+            binding_constraint=_binding_constraint(self._model, self._requirements, result.x),
+        )
+
+
+class DelayMinimizationProblem(_ProblemBase):
+    """Problem (P2): minimize ``L(X)`` subject to ``E(X) <= Ebudget``.
+
+    The solution gives the delay player's best value ``Lbest`` and, at the
+    same point, the energy ``Eworst`` that the energy player would have to
+    accept if the delay player dictated the parameters.
+    """
+
+    name = "P2-delay"
+
+    def constraints(self) -> List[Callable[[np.ndarray], float]]:
+        """Inequality margins (``>= 0`` feasible): energy budget and capacity."""
+        model = self._model
+        budget = self._requirements.energy_budget
+        return [
+            lambda x: budget - model.system_energy(x),
+            self._capacity_constraint(),
+        ]
+
+    def solve(
+        self,
+        solver: Callable[..., SolverResult] = hybrid_solve,
+        **solver_options: object,
+    ) -> OptimizationOutcome:
+        """Solve (P2) and return the delay-optimal operating point.
+
+        Raises:
+            InfeasibleProblemError: if no admissible parameter vector meets
+                the energy budget.
+        """
+        result = solver(
+            self._model.system_latency,
+            self.space,
+            self.constraints(),
+            maximize=False,
+            **solver_options,
+        )
+        if not result.feasible:
+            raise InfeasibleProblemError(
+                f"{self._model.name}: no parameter setting keeps the energy consumption "
+                f"below {self._requirements.energy_budget:.4f} J/s "
+                f"(violation {result.constraint_violation:.3g})"
+            )
+        return OptimizationOutcome(
+            problem=self.name,
+            point=self._point(result.x),
+            feasible=True,
+            solver=result.method,
+            evaluations=result.evaluations,
+            binding_constraint=_binding_constraint(self._model, self._requirements, result.x),
+        )
+
+
+class NashBargainingProblem(_ProblemBase):
+    """Problem (P4): the concave reformulation of the Nash bargaining game.
+
+    Maximizes ``log(Eworst - E(X)) + log(Lworst - L(X))`` subject to the
+    application requirements and the disagreement bounds, where
+    ``(Eworst, Lworst)`` is the disagreement point built from the solutions
+    of (P1) and (P2).
+
+    Args:
+        model: Protocol analytical model.
+        requirements: Application requirements ``(Ebudget, Lmax)``.
+        disagreement_energy: ``Eworst`` (from (P2)).
+        disagreement_delay: ``Lworst`` (from (P1)).
+    """
+
+    name = "P4-nash-bargaining"
+
+    #: Fraction of the disagreement value used as the numerical floor inside
+    #: the logarithms (keeps the objective finite on the boundary).
+    _LOG_FLOOR = 1e-12
+
+    def __init__(
+        self,
+        model: DutyCycledMACModel,
+        requirements: ApplicationRequirements,
+        disagreement_energy: float,
+        disagreement_delay: float,
+    ) -> None:
+        super().__init__(model, requirements)
+        if disagreement_energy <= 0 or disagreement_delay <= 0:
+            raise ConfigurationError(
+                "disagreement point must be strictly positive, got "
+                f"({disagreement_energy!r}, {disagreement_delay!r})"
+            )
+        self._disagreement_energy = float(disagreement_energy)
+        self._disagreement_delay = float(disagreement_delay)
+
+    @property
+    def disagreement(self) -> tuple[float, float]:
+        """The disagreement point ``(Eworst, Lworst)``."""
+        return (self._disagreement_energy, self._disagreement_delay)
+
+    # ------------------------------------------------------------------ #
+    # Objective and constraints
+    # ------------------------------------------------------------------ #
+
+    def objective(self, x: np.ndarray) -> float:
+        """``log(Eworst - E(X)) + log(Lworst - L(X))`` with a numerical floor."""
+        energy_gain = self._disagreement_energy - self._model.system_energy(x)
+        delay_gain = self._disagreement_delay - self._model.system_latency(x)
+        floor_energy = self._LOG_FLOOR * self._disagreement_energy
+        floor_delay = self._LOG_FLOOR * self._disagreement_delay
+        return math.log(max(energy_gain, floor_energy)) + math.log(
+            max(delay_gain, floor_delay)
+        )
+
+    def nash_product(self, x: np.ndarray) -> float:
+        """The raw Nash product ``(Eworst - E(X)) (Lworst - L(X))`` (clipped at 0)."""
+        energy_gain = max(0.0, self._disagreement_energy - self._model.system_energy(x))
+        delay_gain = max(0.0, self._disagreement_delay - self._model.system_latency(x))
+        return energy_gain * delay_gain
+
+    def constraints(self) -> List[Callable[[np.ndarray], float]]:
+        """Inequality margins of (P4): requirements, disagreement bounds, capacity."""
+        model = self._model
+        budget = min(self._requirements.energy_budget, self._disagreement_energy)
+        delay_cap = min(self._requirements.max_delay, self._disagreement_delay)
+        return [
+            lambda x: budget - model.system_energy(x),
+            lambda x: delay_cap - model.system_latency(x),
+            self._capacity_constraint(),
+        ]
+
+    def solve(
+        self,
+        solver: Callable[..., SolverResult] = hybrid_solve,
+        **solver_options: object,
+    ) -> tuple[TradeoffPoint, SolverResult]:
+        """Solve (P4) and return the agreed operating point and solver detail.
+
+        Raises:
+            InfeasibleProblemError: if the feasible region is empty, which
+                can only happen when the two single-objective solutions are
+                inconsistent (e.g. the requirements changed between solves).
+        """
+        result = solver(
+            self.objective,
+            self.space,
+            self.constraints(),
+            maximize=True,
+            **solver_options,
+        )
+        if not result.feasible:
+            raise InfeasibleProblemError(
+                f"{self._model.name}: the Nash bargaining problem has an empty feasible "
+                f"region under disagreement point {self.disagreement}"
+            )
+        return self._point(result.x), result

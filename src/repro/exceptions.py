@@ -1,0 +1,51 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError`, so a
+caller can catch all library failures with a single ``except`` clause while
+still being able to distinguish configuration mistakes from solver failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed or configured with invalid values.
+
+    Raised, for example, when a radio model has a negative power draw, when a
+    topology has zero rings, or when an application requirement is
+    non-positive.
+    """
+
+
+class InfeasibleProblemError(ReproError):
+    """An optimization problem has an empty feasible region.
+
+    Raised when the requested application requirements (energy budget and
+    end-to-end delay bound) cannot be met simultaneously by any admissible
+    parameter vector of the protocol under study.
+    """
+
+
+class SolverError(ReproError):
+    """A numerical solver failed to produce a usable solution."""
+
+
+class BargainingError(ReproError):
+    """The bargaining game is ill-posed.
+
+    Raised when the feasible utility set is empty, when no point dominates
+    the disagreement point, or when an axiom check is requested on an
+    incompatible game.
+    """
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class ValidationError(ReproError):
+    """Analytical model and simulation disagree beyond the allowed tolerance."""

@@ -1,0 +1,29 @@
+"""Figure-by-figure reproduction drivers.
+
+* :mod:`repro.experiments.config` — the scenario and requirement grids of
+  the paper's evaluation (Ebudget = 0.06 J, Lmax in 1..6 s, and vice versa).
+* :mod:`repro.experiments.figure1` — Figure 1 (a/b/c): energy-delay
+  trade-off when fixing the energy budget and sweeping the delay bound.
+* :mod:`repro.experiments.figure2` — Figure 2 (a/b/c): energy-delay
+  trade-off when fixing the delay bound and sweeping the energy budget.
+"""
+
+from repro.experiments.config import (
+    FIGURE_DELAY_BOUNDS,
+    FIGURE_ENERGY_BUDGETS,
+    FIGURE_ENERGY_BUDGET_FIXED,
+    FIGURE_MAX_DELAY_FIXED,
+    figure_scenario,
+)
+from repro.experiments.figure1 import reproduce_figure1
+from repro.experiments.figure2 import reproduce_figure2
+
+__all__ = [
+    "FIGURE_DELAY_BOUNDS",
+    "FIGURE_ENERGY_BUDGETS",
+    "FIGURE_ENERGY_BUDGET_FIXED",
+    "FIGURE_MAX_DELAY_FIXED",
+    "figure_scenario",
+    "reproduce_figure1",
+    "reproduce_figure2",
+]

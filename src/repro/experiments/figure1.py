@@ -1,0 +1,72 @@
+"""Figure 1 reproduction.
+
+Figure 1 of the paper plots, for X-MAC (a), DMAC (b) and LMAC (c), the
+energy-delay trade-off points obtained by fixing ``Ebudget = 0.06 J`` and
+varying ``Lmax`` from 1 to 6 seconds.  Each sub-figure shows the protocol's
+E-L curve with the Nash bargaining trade-off points marked on it; relaxing
+the delay bound moves the agreement in favour of the energy player.
+
+This module regenerates the series behind each sub-figure as flat rows
+(one per ``Lmax`` value) containing the corner points ``(Ebest, Lworst)``,
+``(Eworst, Lbest)`` and the agreed point ``(E*, L*)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.analysis.sweep import SweepResult, sweep_delay_bound
+from repro.experiments.config import (
+    FIGURE_DELAY_BOUNDS,
+    FIGURE_ENERGY_BUDGET_FIXED,
+    FIGURE_GRID_POINTS,
+    figure_scenario,
+)
+from repro.protocols.registry import PAPER_PROTOCOL_NAMES, create_protocol
+from repro.scenario import Scenario
+
+
+def reproduce_figure1(
+    protocols: Sequence[str] = PAPER_PROTOCOL_NAMES,
+    delay_bounds: Iterable[float] = FIGURE_DELAY_BOUNDS,
+    energy_budget: float = FIGURE_ENERGY_BUDGET_FIXED,
+    scenario: Optional[Scenario] = None,
+    grid_points_per_dimension: int = FIGURE_GRID_POINTS,
+) -> Dict[str, SweepResult]:
+    """Regenerate Figure 1: one delay-bound sweep per protocol.
+
+    Returns:
+        Mapping from protocol name (``"xmac"``, ``"dmac"``, ``"lmac"``) to
+        the corresponding :class:`~repro.analysis.sweep.SweepResult`.
+    """
+    scenario = scenario or figure_scenario()
+    results: Dict[str, SweepResult] = {}
+    for name in protocols:
+        model = create_protocol(name, scenario)
+        results[name] = sweep_delay_bound(
+            model,
+            energy_budget=energy_budget,
+            delay_bounds=list(delay_bounds),
+            grid_points_per_dimension=grid_points_per_dimension,
+        )
+    return results
+
+
+def figure1_rows(results: Dict[str, SweepResult]) -> List[Dict[str, object]]:
+    """Flatten the per-protocol sweeps into printable rows."""
+    rows: List[Dict[str, object]] = []
+    for name in results:
+        rows.extend(results[name].series())
+    return rows
+
+
+def main() -> None:  # pragma: no cover - manual entry point
+    """Print the Figure 1 series as a text table."""
+    from repro.analysis.reporting import format_table
+
+    results = reproduce_figure1()
+    print(format_table(figure1_rows(results)))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,70 @@
+"""Figure 2 reproduction.
+
+Figure 2 of the paper plots, for X-MAC (a), DMAC (b) and LMAC (c), the
+energy-delay trade-off points obtained by fixing ``Lmax = 6 s`` and varying
+``Ebudget`` from 0.01 to 0.06 J.  Raising the energy budget moves the
+agreement in favour of the delay player.
+
+This module regenerates the series behind each sub-figure as flat rows (one
+per ``Ebudget`` value).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.analysis.sweep import SweepResult, sweep_energy_budget
+from repro.experiments.config import (
+    FIGURE_ENERGY_BUDGETS,
+    FIGURE_GRID_POINTS,
+    FIGURE_MAX_DELAY_FIXED,
+    figure_scenario,
+)
+from repro.protocols.registry import PAPER_PROTOCOL_NAMES, create_protocol
+from repro.scenario import Scenario
+
+
+def reproduce_figure2(
+    protocols: Sequence[str] = PAPER_PROTOCOL_NAMES,
+    energy_budgets: Iterable[float] = FIGURE_ENERGY_BUDGETS,
+    max_delay: float = FIGURE_MAX_DELAY_FIXED,
+    scenario: Optional[Scenario] = None,
+    grid_points_per_dimension: int = FIGURE_GRID_POINTS,
+) -> Dict[str, SweepResult]:
+    """Regenerate Figure 2: one energy-budget sweep per protocol.
+
+    Returns:
+        Mapping from protocol name (``"xmac"``, ``"dmac"``, ``"lmac"``) to
+        the corresponding :class:`~repro.analysis.sweep.SweepResult`.
+    """
+    scenario = scenario or figure_scenario()
+    results: Dict[str, SweepResult] = {}
+    for name in protocols:
+        model = create_protocol(name, scenario)
+        results[name] = sweep_energy_budget(
+            model,
+            max_delay=max_delay,
+            energy_budgets=list(energy_budgets),
+            grid_points_per_dimension=grid_points_per_dimension,
+        )
+    return results
+
+
+def figure2_rows(results: Dict[str, SweepResult]) -> List[Dict[str, object]]:
+    """Flatten the per-protocol sweeps into printable rows."""
+    rows: List[Dict[str, object]] = []
+    for name in results:
+        rows.extend(results[name].series())
+    return rows
+
+
+def main() -> None:  # pragma: no cover - manual entry point
+    """Print the Figure 2 series as a text table."""
+    from repro.analysis.reporting import format_table
+
+    results = reproduce_figure2()
+    print(format_table(figure2_rows(results)))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,48 @@
+"""Generic two-player cooperative bargaining machinery.
+
+The paper uses the Nash Bargaining Solution with the performance metrics as
+players.  This subpackage provides the game-theoretic substrate in a form
+that is independent of MAC protocols, so it can be tested against textbook
+examples and reused for ablations:
+
+* :mod:`repro.gametheory.game` — :class:`BargainingGame`: a feasible set of
+  utility payoffs plus a disagreement point.
+* :mod:`repro.gametheory.nash` — the Nash bargaining solution (maximize the
+  product of gains over the disagreement point).
+* :mod:`repro.gametheory.kalai_smorodinsky` — the Kalai–Smorodinsky solution
+  (equalize relative gains toward the ideal point).
+* :mod:`repro.gametheory.egalitarian` — the egalitarian solution (equalize
+  absolute gains).
+* :mod:`repro.gametheory.utilitarian` — the utilitarian solution (maximize
+  the sum of gains).
+* :mod:`repro.gametheory.axioms` — numerical checks of the four Nash axioms
+  (Pareto optimality, symmetry, scale invariance, independence of irrelevant
+  alternatives).
+"""
+
+from repro.gametheory.game import BargainingGame, BargainingPoint
+from repro.gametheory.nash import nash_bargaining_solution
+from repro.gametheory.kalai_smorodinsky import kalai_smorodinsky_solution
+from repro.gametheory.egalitarian import egalitarian_solution
+from repro.gametheory.utilitarian import utilitarian_solution
+from repro.gametheory.axioms import (
+    check_pareto_optimality,
+    check_symmetry,
+    check_scale_invariance,
+    check_independence_of_irrelevant_alternatives,
+    check_all_axioms,
+)
+
+__all__ = [
+    "BargainingGame",
+    "BargainingPoint",
+    "nash_bargaining_solution",
+    "kalai_smorodinsky_solution",
+    "egalitarian_solution",
+    "utilitarian_solution",
+    "check_pareto_optimality",
+    "check_symmetry",
+    "check_scale_invariance",
+    "check_independence_of_irrelevant_alternatives",
+    "check_all_axioms",
+]

@@ -1,0 +1,55 @@
+"""Egalitarian bargaining solution.
+
+The egalitarian rule maximizes the *minimum* absolute gain over the
+disagreement point, i.e. it equalizes the players' gains in absolute terms
+(and is therefore not scale-invariant).  Included as an ablation of the
+paper's Nash rule.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import BargainingError
+from repro.gametheory.game import BargainingGame, BargainingPoint
+
+
+def egalitarian_solution(game: BargainingGame, tolerance: float = 1e-12) -> BargainingPoint:
+    """Select the egalitarian (max-min gain) outcome of a finite game.
+
+    Ties on the minimum gain are broken by the larger total gain, which picks
+    the Pareto-superior of two equally balanced points.
+
+    Raises:
+        BargainingError: if no alternative weakly dominates the disagreement
+            point.
+    """
+    if not game.has_rational_alternative(tolerance):
+        raise BargainingError(
+            "egalitarian solution is undefined: no alternative dominates the disagreement point"
+        )
+    gains = game.gains()
+    rational = game.individually_rational_indices(tolerance)
+
+    best_index = -1
+    best_min_gain = -np.inf
+    best_total = -np.inf
+    for index in rational:
+        min_gain = float(np.min(gains[index]))
+        total = float(np.sum(gains[index]))
+        if min_gain > best_min_gain + tolerance or (
+            abs(min_gain - best_min_gain) <= tolerance and total > best_total
+        ):
+            best_index = int(index)
+            best_min_gain = min_gain
+            best_total = total
+    if best_index < 0:
+        raise BargainingError("failed to select an egalitarian outcome")
+    payoff = game.payoffs[best_index]
+    gain = gains[best_index]
+    return BargainingPoint(
+        index=best_index,
+        payoff=(float(payoff[0]), float(payoff[1])),
+        gains=(float(gain[0]), float(gain[1])),
+        objective=best_min_gain,
+    )

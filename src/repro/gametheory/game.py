@@ -1,0 +1,226 @@
+"""Two-player bargaining games over finite (sampled) feasible sets.
+
+A bargaining game is a pair ``(S, v)``: a feasible set ``S`` of utility
+payoffs and a disagreement (threat) point ``v``.  The energy-delay game of
+the paper has a continuous feasible set (the image of the MAC parameter box
+under the two cost functions); for the generic machinery here the set is
+represented by a finite sample of payoff vectors, which is how the ablation
+benches and the cross-checks of the analytic solver use it.
+
+Costs vs utilities
+------------------
+The paper's metrics are *costs* (smaller is better) while bargaining theory
+is written for *utilities* (larger is better).  :meth:`BargainingGame.from_costs`
+performs the standard sign flip and keeps track of it, so callers can move
+back and forth without sprinkling minus signs around.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import BargainingError
+
+
+@dataclass(frozen=True)
+class BargainingPoint:
+    """One selected outcome of a bargaining game.
+
+    Attributes:
+        index: Index of the selected payoff in the game's feasible sample.
+        payoff: The selected utility payoff ``(u1, u2)``.
+        gains: Gains over the disagreement point ``(u1 - v1, u2 - v2)``.
+        objective: Value of the selection criterion (e.g. the Nash product).
+    """
+
+    index: int
+    payoff: Tuple[float, float]
+    gains: Tuple[float, float]
+    objective: float
+
+
+class BargainingGame:
+    """A two-player bargaining game over a finite feasible set.
+
+    Args:
+        payoffs: Array-like of shape ``(n, 2)``; row ``i`` is the utility
+            payoff of alternative ``i``.
+        disagreement: The disagreement (threat) point ``(v1, v2)``.
+        player_names: Names used in reports, defaults to ``("player1",
+            "player2")``.
+
+    Raises:
+        BargainingError: if the feasible set is empty, contains non-finite
+            payoffs, or no alternative weakly dominates the disagreement
+            point.
+    """
+
+    def __init__(
+        self,
+        payoffs: Iterable[Sequence[float]],
+        disagreement: Sequence[float],
+        player_names: Tuple[str, str] = ("player1", "player2"),
+    ) -> None:
+        payoff_array = np.asarray(list(payoffs), dtype=float)
+        if payoff_array.ndim != 2 or payoff_array.shape[1] != 2:
+            raise BargainingError(
+                f"payoffs must have shape (n, 2), got {payoff_array.shape}"
+            )
+        if payoff_array.shape[0] == 0:
+            raise BargainingError("the feasible set is empty")
+        if not np.all(np.isfinite(payoff_array)):
+            raise BargainingError("payoffs contain non-finite values")
+        disagreement_array = np.asarray(disagreement, dtype=float).ravel()
+        if disagreement_array.shape != (2,) or not np.all(np.isfinite(disagreement_array)):
+            raise BargainingError(
+                f"disagreement point must be a finite pair, got {disagreement!r}"
+            )
+        if len(player_names) != 2:
+            raise BargainingError("exactly two player names are required")
+        self._payoffs = payoff_array
+        self._disagreement = disagreement_array
+        self._player_names = (str(player_names[0]), str(player_names[1]))
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_costs(
+        cls,
+        costs: Iterable[Sequence[float]],
+        disagreement_costs: Sequence[float],
+        player_names: Tuple[str, str] = ("player1", "player2"),
+    ) -> "BargainingGame":
+        """Build a game from *cost* samples (smaller is better).
+
+        Utilities are the negated costs, so "gain over the disagreement
+        point" becomes "cost reduction below the disagreement cost", which is
+        exactly the ``(Eworst - E)(Lworst - L)`` product in the paper's (P3).
+        """
+        cost_array = np.asarray(list(costs), dtype=float)
+        disagreement_array = np.asarray(disagreement_costs, dtype=float)
+        return cls(-cost_array, -disagreement_array, player_names=player_names)
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def payoffs(self) -> np.ndarray:
+        """The feasible utility payoffs, shape ``(n, 2)`` (read-only copy)."""
+        return self._payoffs.copy()
+
+    @property
+    def disagreement(self) -> np.ndarray:
+        """The disagreement point ``(v1, v2)`` (read-only copy)."""
+        return self._disagreement.copy()
+
+    @property
+    def player_names(self) -> Tuple[str, str]:
+        """The two player names."""
+        return self._player_names
+
+    @property
+    def size(self) -> int:
+        """Number of alternatives in the feasible sample."""
+        return int(self._payoffs.shape[0])
+
+    def gains(self) -> np.ndarray:
+        """Per-alternative gains over the disagreement point, shape ``(n, 2)``."""
+        return self._payoffs - self._disagreement
+
+    def individually_rational_indices(self, tolerance: float = 1e-12) -> np.ndarray:
+        """Indices of alternatives that weakly dominate the disagreement point."""
+        gains = self.gains()
+        mask = np.all(gains >= -tolerance, axis=1)
+        return np.flatnonzero(mask)
+
+    def has_rational_alternative(self, tolerance: float = 1e-12) -> bool:
+        """Whether at least one alternative weakly dominates the disagreement point."""
+        return self.individually_rational_indices(tolerance).size > 0
+
+    def ideal_point(self) -> np.ndarray:
+        """Per-player maximum achievable payoff among individually rational points."""
+        indices = self.individually_rational_indices()
+        if indices.size == 0:
+            raise BargainingError("no individually rational alternative exists")
+        return self._payoffs[indices].max(axis=0)
+
+    # ------------------------------------------------------------------ #
+    # Pareto structure
+    # ------------------------------------------------------------------ #
+
+    def pareto_indices(self) -> np.ndarray:
+        """Indices of Pareto-efficient alternatives (maximization sense)."""
+        payoffs = self._payoffs
+        count = payoffs.shape[0]
+        efficient = np.ones(count, dtype=bool)
+        for i in range(count):
+            if not efficient[i]:
+                continue
+            dominates_i = np.all(payoffs >= payoffs[i], axis=1) & np.any(
+                payoffs > payoffs[i], axis=1
+            )
+            if np.any(dominates_i):
+                efficient[i] = False
+        return np.flatnonzero(efficient)
+
+    def is_pareto_efficient(self, index: int, tolerance: float = 1e-12) -> bool:
+        """Whether alternative ``index`` is Pareto-efficient within the sample."""
+        if not (0 <= index < self.size):
+            raise BargainingError(f"index {index} out of range [0, {self.size})")
+        payoffs = self._payoffs
+        target = payoffs[index]
+        dominates = np.all(payoffs >= target - tolerance, axis=1) & np.any(
+            payoffs > target + tolerance, axis=1
+        )
+        return not bool(np.any(dominates))
+
+    # ------------------------------------------------------------------ #
+    # Transformations (used by the axiom checks)
+    # ------------------------------------------------------------------ #
+
+    def swapped(self) -> "BargainingGame":
+        """Return the game with the two players' roles exchanged."""
+        return BargainingGame(
+            self._payoffs[:, ::-1],
+            self._disagreement[::-1],
+            player_names=(self._player_names[1], self._player_names[0]),
+        )
+
+    def rescaled(self, scale: Sequence[float], shift: Sequence[float]) -> "BargainingGame":
+        """Apply a positive affine transformation ``u -> scale * u + shift``."""
+        scale_array = np.asarray(scale, dtype=float).ravel()
+        shift_array = np.asarray(shift, dtype=float).ravel()
+        if scale_array.shape != (2,) or shift_array.shape != (2,):
+            raise BargainingError("scale and shift must be pairs")
+        if np.any(scale_array <= 0):
+            raise BargainingError("scale factors must be strictly positive")
+        return BargainingGame(
+            self._payoffs * scale_array + shift_array,
+            self._disagreement * scale_array + shift_array,
+            player_names=self._player_names,
+        )
+
+    def restricted_to(self, indices: Sequence[int]) -> "BargainingGame":
+        """Return the game restricted to a subset of alternatives."""
+        index_array = np.asarray(indices, dtype=int).ravel()
+        if index_array.size == 0:
+            raise BargainingError("cannot restrict a game to an empty subset")
+        if np.any(index_array < 0) or np.any(index_array >= self.size):
+            raise BargainingError("restriction indices out of range")
+        return BargainingGame(
+            self._payoffs[index_array],
+            self._disagreement,
+            player_names=self._player_names,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BargainingGame(n={self.size}, disagreement={tuple(self._disagreement)}, "
+            f"players={self._player_names})"
+        )

@@ -1,0 +1,83 @@
+"""Kalai–Smorodinsky bargaining solution.
+
+The Kalai–Smorodinsky solution replaces Nash's independence of irrelevant
+alternatives with *individual monotonicity*: it selects the Pareto-efficient
+point at which both players obtain the same fraction of their maximum
+achievable gain (the "ideal" point).  It is included as an ablation of the
+paper's choice of bargaining rule: on the energy-delay game it produces a
+different, usually close, trade-off point.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import BargainingError
+from repro.gametheory.game import BargainingGame, BargainingPoint
+
+
+def kalai_smorodinsky_solution(
+    game: BargainingGame, tolerance: float = 1e-12
+) -> BargainingPoint:
+    """Select the Kalai–Smorodinsky outcome of a finite game.
+
+    On a finite sample the exact equal-relative-gain ray may pass between
+    sample points, so the selected alternative is the individually rational,
+    Pareto-efficient point whose relative gains are closest to equal, with
+    the larger minimum relative gain used as a tie-break.
+
+    Raises:
+        BargainingError: if no alternative weakly dominates the disagreement
+            point, or the ideal gains are degenerate (zero for a player).
+    """
+    if not game.has_rational_alternative(tolerance):
+        raise BargainingError(
+            "Kalai–Smorodinsky is undefined: no alternative dominates the disagreement point"
+        )
+    ideal = game.ideal_point()
+    disagreement = game.disagreement
+    ideal_gains = ideal - disagreement
+    if np.any(ideal_gains <= tolerance):
+        # One player cannot gain at all: the solution collapses onto the best
+        # point for the other player among rational alternatives.
+        rational = game.individually_rational_indices(tolerance)
+        gains = game.gains()[rational]
+        best_local = int(np.argmax(gains.sum(axis=1)))
+        index = int(rational[best_local])
+        payoff = game.payoffs[index]
+        gain = game.gains()[index]
+        return BargainingPoint(
+            index=index,
+            payoff=(float(payoff[0]), float(payoff[1])),
+            gains=(float(gain[0]), float(gain[1])),
+            objective=float(np.min(gain / np.maximum(ideal_gains, tolerance))),
+        )
+
+    rational = set(int(i) for i in game.individually_rational_indices(tolerance))
+    pareto = [int(i) for i in game.pareto_indices() if int(i) in rational]
+    candidates = pareto if pareto else sorted(rational)
+
+    gains = game.gains()
+    best_index = -1
+    best_imbalance = np.inf
+    best_level = -np.inf
+    for index in candidates:
+        relative = gains[index] / ideal_gains
+        imbalance = float(abs(relative[0] - relative[1]))
+        level = float(np.min(relative))
+        if imbalance < best_imbalance - tolerance or (
+            abs(imbalance - best_imbalance) <= tolerance and level > best_level
+        ):
+            best_index = index
+            best_imbalance = imbalance
+            best_level = level
+    if best_index < 0:
+        raise BargainingError("failed to select a Kalai–Smorodinsky outcome")
+    payoff = game.payoffs[best_index]
+    gain = gains[best_index]
+    return BargainingPoint(
+        index=best_index,
+        payoff=(float(payoff[0]), float(payoff[1])),
+        gains=(float(gain[0]), float(gain[1])),
+        objective=best_level,
+    )

@@ -1,0 +1,68 @@
+"""Nash bargaining solution over a finite feasible sample.
+
+The Nash Bargaining Solution selects the feasible, individually rational
+payoff that maximizes the product of the players' gains over the
+disagreement point, ``(u1 - v1)(u2 - v2)``.  On a finite sample this is a
+simple argmax; the continuous version used by the core framework (problem
+(P4) of the paper) lives in :mod:`repro.core.bargaining` and is cross-checked
+against this one in the tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import BargainingError
+from repro.gametheory.game import BargainingGame, BargainingPoint
+
+
+def nash_product(gains: np.ndarray) -> np.ndarray:
+    """Nash product of an ``(n, 2)`` array of gains (clipped at zero).
+
+    Gains below zero are clipped to zero so that individually irrational
+    alternatives can never win the argmax: their product is zero, and ties
+    at zero are broken in favour of rational alternatives by the caller.
+    """
+    clipped = np.clip(gains, 0.0, None)
+    return clipped[:, 0] * clipped[:, 1]
+
+
+def nash_bargaining_solution(game: BargainingGame, tolerance: float = 1e-12) -> BargainingPoint:
+    """Select the Nash bargaining outcome of a finite game.
+
+    Raises:
+        BargainingError: if no alternative weakly dominates the disagreement
+            point (the game has no individually rational outcome).
+    """
+    if not game.has_rational_alternative(tolerance):
+        raise BargainingError(
+            "Nash bargaining is undefined: no alternative dominates the disagreement point"
+        )
+    gains = game.gains()
+    products = nash_product(gains)
+    rational = game.individually_rational_indices(tolerance)
+
+    # Among individually rational alternatives pick the largest product; break
+    # ties by the largest minimum gain (a deterministic, symmetric rule).
+    best_index = -1
+    best_product = -np.inf
+    best_min_gain = -np.inf
+    for index in rational:
+        product = float(products[index])
+        min_gain = float(np.min(gains[index]))
+        if product > best_product + tolerance or (
+            abs(product - best_product) <= tolerance and min_gain > best_min_gain
+        ):
+            best_index = int(index)
+            best_product = product
+            best_min_gain = min_gain
+    if best_index < 0:
+        raise BargainingError("failed to select a Nash bargaining outcome")
+    payoff = game.payoffs[best_index]
+    gain = gains[best_index]
+    return BargainingPoint(
+        index=best_index,
+        payoff=(float(payoff[0]), float(payoff[1])),
+        gains=(float(gain[0]), float(gain[1])),
+        objective=best_product,
+    )

@@ -1,0 +1,55 @@
+"""Utilitarian bargaining solution.
+
+The utilitarian rule maximizes the *sum* of the players' gains over the
+disagreement point.  It ignores fairness entirely (one player may capture
+the whole surplus), which makes it a useful contrast with the Nash and
+Kalai–Smorodinsky rules in the bargaining-rule ablation bench.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import BargainingError
+from repro.gametheory.game import BargainingGame, BargainingPoint
+
+
+def utilitarian_solution(game: BargainingGame, tolerance: float = 1e-12) -> BargainingPoint:
+    """Select the utilitarian (max total gain) outcome of a finite game.
+
+    Ties on the total gain are broken by the larger minimum gain, which picks
+    the more balanced of two equally efficient points.
+
+    Raises:
+        BargainingError: if no alternative weakly dominates the disagreement
+            point.
+    """
+    if not game.has_rational_alternative(tolerance):
+        raise BargainingError(
+            "utilitarian solution is undefined: no alternative dominates the disagreement point"
+        )
+    gains = game.gains()
+    rational = game.individually_rational_indices(tolerance)
+
+    best_index = -1
+    best_total = -np.inf
+    best_min_gain = -np.inf
+    for index in rational:
+        total = float(np.sum(gains[index]))
+        min_gain = float(np.min(gains[index]))
+        if total > best_total + tolerance or (
+            abs(total - best_total) <= tolerance and min_gain > best_min_gain
+        ):
+            best_index = int(index)
+            best_total = total
+            best_min_gain = min_gain
+    if best_index < 0:
+        raise BargainingError("failed to select a utilitarian outcome")
+    payoff = game.payoffs[best_index]
+    gain = gains[best_index]
+    return BargainingPoint(
+        index=best_index,
+        payoff=(float(payoff[0]), float(payoff[1])),
+        gains=(float(gain[0]), float(gain[1])),
+        objective=best_total,
+    )

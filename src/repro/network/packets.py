@@ -1,0 +1,146 @@
+"""Frame-size model.
+
+MAC analytical models need on-air durations for the different frame types a
+protocol exchanges: data frames, acknowledgements, preamble strobes, SYNC /
+schedule frames and TDMA control headers.  This module centralizes the byte
+bookkeeping (payload + MAC header + PHY overhead) so the per-protocol models
+in :mod:`repro.protocols` can ask for durations instead of repeating size
+arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Mapping
+
+from repro.exceptions import ConfigurationError
+from repro.network.radio import RadioModel
+
+
+@dataclass(frozen=True)
+class PacketModel:
+    """Sizes (in bytes) of the frames exchanged by duty-cycled MAC protocols.
+
+    Attributes:
+        payload_bytes: Application payload carried by a data frame.
+        mac_header_bytes: MAC-layer header and footer (addresses, FCS).
+        phy_overhead_bytes: Physical-layer preamble + SFD + length field that
+            precedes every frame on air.
+        ack_bytes: Size of a link-layer acknowledgement frame.
+        strobe_bytes: Size of a single short preamble strobe (X-MAC style),
+            carrying the target address.
+        sync_bytes: Size of a schedule/SYNC frame (slotted protocols).
+        control_bytes: Size of a TDMA control header transmitted at the start
+            of an owned slot (LMAC style).
+    """
+
+    payload_bytes: float = 32.0
+    mac_header_bytes: float = 9.0
+    phy_overhead_bytes: float = 6.0
+    ack_bytes: float = 11.0
+    strobe_bytes: float = 12.0
+    sync_bytes: float = 18.0
+    control_bytes: float = 12.0
+
+    def __post_init__(self) -> None:
+        for name, value in self.as_dict().items():
+            if not isinstance(value, (int, float)) or value < 0:
+                raise ConfigurationError(
+                    f"PacketModel.{name} must be a non-negative number, got {value!r}"
+                )
+        if self.payload_bytes == 0 and self.mac_header_bytes == 0:
+            raise ConfigurationError("data frames must have a non-zero size")
+
+    # ------------------------------------------------------------------ #
+    # Sizes
+    # ------------------------------------------------------------------ #
+
+    @property
+    def data_frame_bytes(self) -> float:
+        """Total on-air size of a data frame in bytes."""
+        return self.payload_bytes + self.mac_header_bytes + self.phy_overhead_bytes
+
+    @property
+    def ack_frame_bytes(self) -> float:
+        """Total on-air size of an acknowledgement frame in bytes."""
+        return self.ack_bytes + self.phy_overhead_bytes
+
+    @property
+    def strobe_frame_bytes(self) -> float:
+        """Total on-air size of a single preamble strobe in bytes."""
+        return self.strobe_bytes + self.phy_overhead_bytes
+
+    @property
+    def sync_frame_bytes(self) -> float:
+        """Total on-air size of a SYNC/schedule frame in bytes."""
+        return self.sync_bytes + self.phy_overhead_bytes
+
+    @property
+    def control_frame_bytes(self) -> float:
+        """Total on-air size of a TDMA slot control header in bytes."""
+        return self.control_bytes + self.phy_overhead_bytes
+
+    # ------------------------------------------------------------------ #
+    # Durations (require a radio)
+    # ------------------------------------------------------------------ #
+
+    def data_airtime(self, radio: RadioModel) -> float:
+        """On-air duration (seconds) of a data frame on the given radio."""
+        return radio.airtime_bytes(self.data_frame_bytes)
+
+    def ack_airtime(self, radio: RadioModel) -> float:
+        """On-air duration (seconds) of an ACK frame on the given radio."""
+        return radio.airtime_bytes(self.ack_frame_bytes)
+
+    def strobe_airtime(self, radio: RadioModel) -> float:
+        """On-air duration (seconds) of one preamble strobe."""
+        return radio.airtime_bytes(self.strobe_frame_bytes)
+
+    def sync_airtime(self, radio: RadioModel) -> float:
+        """On-air duration (seconds) of a SYNC/schedule frame."""
+        return radio.airtime_bytes(self.sync_frame_bytes)
+
+    def control_airtime(self, radio: RadioModel) -> float:
+        """On-air duration (seconds) of a TDMA slot control header."""
+        return radio.airtime_bytes(self.control_frame_bytes)
+
+    def strobe_period(self, radio: RadioModel) -> float:
+        """Duration of one strobe + the gap the sender listens for an early ACK.
+
+        X-MAC alternates short strobes with listening gaps long enough for
+        the receiver to answer; we model the gap as the ACK airtime plus two
+        rx/tx turnarounds.
+        """
+        return (
+            self.strobe_airtime(radio)
+            + self.ack_airtime(radio)
+            + 2.0 * radio.turnaround_time
+        )
+
+    def hop_exchange_time(self, radio: RadioModel) -> float:
+        """Time for a single data + ACK exchange once both parties are awake."""
+        return (
+            self.data_airtime(radio)
+            + radio.turnaround_time
+            + self.ack_airtime(radio)
+        )
+
+    # ------------------------------------------------------------------ #
+    # Utilities
+    # ------------------------------------------------------------------ #
+
+    def with_payload(self, payload_bytes: float) -> "PacketModel":
+        """Return a copy of this model with a different payload size."""
+        return replace(self, payload_bytes=payload_bytes)
+
+    def as_dict(self) -> Mapping[str, float]:
+        """Return the configured sizes as a plain dictionary (for reporting)."""
+        return {
+            "payload_bytes": self.payload_bytes,
+            "mac_header_bytes": self.mac_header_bytes,
+            "phy_overhead_bytes": self.phy_overhead_bytes,
+            "ack_bytes": self.ack_bytes,
+            "strobe_bytes": self.strobe_bytes,
+            "sync_bytes": self.sync_bytes,
+            "control_bytes": self.control_bytes,
+        }

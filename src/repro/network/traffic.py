@@ -1,0 +1,188 @@
+"""Traffic model.
+
+Periodic, unsaturated traffic: every sensor node samples the environment at
+rate ``Fs`` (packets per second) and forwards its own packets plus those of
+its descendants toward the sink over the gathering tree.  Following the ring
+abstraction (see :class:`repro.network.topology.RingTopology`), the load seen
+by a node depends only on its ring ``d``:
+
+* output rate ``F_out(d) = Fs * (D^2 - (d-1)^2) / (2d - 1)`` — own traffic
+  plus relayed traffic,
+* input rate ``F_in(d) = F_out(d) - Fs`` — relayed traffic only,
+* background rate ``F_B(d)`` — traffic transmitted within the node's radio
+  range but not addressed to it (what the node can *overhear*),
+* input links ``I(d)`` — expected number of tree children.
+
+These are the quantities the paper refers to as "the same input, output,
+background traffic and input links equations ... derived in [3]".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+from repro.exceptions import ConfigurationError
+from repro.network.topology import RingTopology
+from repro.units import require_positive
+
+
+@dataclass(frozen=True)
+class RingTraffic:
+    """Per-node traffic rates (packets per second) for one ring.
+
+    Attributes:
+        ring: Ring index ``d``.
+        generated: Own sampling rate ``Fs``.
+        output: Total transmit rate ``F_out(d)``.
+        input: Total receive rate ``F_in(d)`` (traffic from children).
+        background: Overhearable rate ``F_B(d)`` from neighbours whose
+            transmissions are not addressed to this node.
+        input_links: Expected number of tree children ``I(d)``.
+    """
+
+    ring: int
+    generated: float
+    output: float
+    input: float
+    background: float
+    input_links: float
+
+    def __post_init__(self) -> None:
+        for name in ("generated", "output", "input", "background", "input_links"):
+            value = getattr(self, name)
+            if value < 0:
+                raise ConfigurationError(f"RingTraffic.{name} must be >= 0, got {value!r}")
+        if self.output + 1e-12 < self.input + self.generated:
+            raise ConfigurationError(
+                "flow conservation violated: output < input + generated "
+                f"({self.output!r} < {self.input!r} + {self.generated!r})"
+            )
+
+    @property
+    def relay_fraction(self) -> float:
+        """Fraction of the transmitted traffic that is relayed (not own)."""
+        if self.output == 0:
+            return 0.0
+        return self.input / self.output
+
+
+class TrafficModel:
+    """Periodic traffic load over a ring topology.
+
+    Args:
+        topology: The analytical ring topology.
+        sampling_rate: Application sampling rate ``Fs`` in packets per second
+            per node (e.g. ``0.01`` for one reading every 100 s).
+
+    Raises:
+        ConfigurationError: if the sampling rate is not strictly positive.
+    """
+
+    def __init__(self, topology: RingTopology, sampling_rate: float) -> None:
+        if not isinstance(topology, RingTopology):
+            raise ConfigurationError(
+                f"topology must be a RingTopology, got {type(topology).__name__}"
+            )
+        self._topology = topology
+        try:
+            self._sampling_rate = require_positive("sampling_rate", sampling_rate)
+        except ValueError as exc:
+            raise ConfigurationError(str(exc)) from exc
+
+    # ------------------------------------------------------------------ #
+    # Properties
+    # ------------------------------------------------------------------ #
+
+    @property
+    def topology(self) -> RingTopology:
+        """The ring topology this traffic model is defined over."""
+        return self._topology
+
+    @property
+    def sampling_rate(self) -> float:
+        """Application sampling rate ``Fs`` (packets per second per node)."""
+        return self._sampling_rate
+
+    @property
+    def sampling_period(self) -> float:
+        """Application sampling period ``1 / Fs`` in seconds."""
+        return 1.0 / self._sampling_rate
+
+    # ------------------------------------------------------------------ #
+    # Per-ring rates
+    # ------------------------------------------------------------------ #
+
+    def output_rate(self, ring: int) -> float:
+        """Transmit rate ``F_out(d)`` of a node in ring ``d`` (packets/s)."""
+        topo = self._topology
+        topo._check_ring(ring)  # noqa: SLF001 - deliberate reuse of the validator
+        descendants = topo.descendants_per_node(ring)
+        return self._sampling_rate * (descendants + 1.0)
+
+    def input_rate(self, ring: int) -> float:
+        """Receive rate ``F_in(d)`` of a node in ring ``d`` (packets/s)."""
+        return self.output_rate(ring) - self._sampling_rate
+
+    def background_rate(self, ring: int) -> float:
+        """Overhearable rate ``F_B(d)`` around a node in ring ``d`` (packets/s).
+
+        A node has ``C`` neighbours; each transmits at roughly the ring's
+        output rate, and the transmissions addressed to the node itself
+        (``F_in``) are accounted separately as receptions.  The overhearable
+        background is therefore ``C * F_out(d) - F_in(d)``, floored at zero.
+        """
+        overheard = self._topology.density * self.output_rate(ring) - self.input_rate(ring)
+        return max(0.0, overheard)
+
+    def input_links(self, ring: int) -> float:
+        """Expected number of tree children ``I(d)`` of a node in ring ``d``."""
+        return self._topology.children_per_node(ring)
+
+    def ring_traffic(self, ring: int) -> RingTraffic:
+        """Bundle all per-ring quantities into a :class:`RingTraffic`."""
+        return RingTraffic(
+            ring=ring,
+            generated=self._sampling_rate,
+            output=self.output_rate(ring),
+            input=self.input_rate(ring),
+            background=self.background_rate(ring),
+            input_links=self.input_links(ring),
+        )
+
+    def all_rings(self) -> Dict[int, RingTraffic]:
+        """Return the :class:`RingTraffic` of every ring, keyed by ring index."""
+        return {ring: self.ring_traffic(ring) for ring in self._topology.rings()}
+
+    # ------------------------------------------------------------------ #
+    # Aggregates
+    # ------------------------------------------------------------------ #
+
+    def bottleneck_output_rate(self) -> float:
+        """Transmit rate of the most loaded node (ring 1)."""
+        return self.output_rate(self._topology.bottleneck_ring)
+
+    def sink_arrival_rate(self) -> float:
+        """Aggregate packet arrival rate at the sink (packets per second)."""
+        return self._sampling_rate * self._topology.total_nodes()
+
+    def network_offered_load(self) -> float:
+        """Total number of link transmissions per second across the network.
+
+        Every packet generated in ring ``d`` crosses ``d`` links, so the
+        offered load is ``Fs * sum_d d * C (2d - 1)``.
+        """
+        total = 0.0
+        for ring in self._topology.rings():
+            total += ring * self._topology.nodes_in_ring(ring)
+        return self._sampling_rate * total
+
+    def describe(self) -> Mapping[str, float]:
+        """Summary used by reports and experiment headers."""
+        return {
+            "sampling_rate_hz": self._sampling_rate,
+            "sampling_period_s": self.sampling_period,
+            "bottleneck_output_rate_hz": self.bottleneck_output_rate(),
+            "sink_arrival_rate_hz": self.sink_arrival_rate(),
+            "network_offered_load_hz": self.network_offered_load(),
+        }

@@ -1,0 +1,97 @@
+"""Exhaustive grid search.
+
+The MAC parameter spaces are one- or two-dimensional boxes, so a dense grid
+is both affordable and an excellent robustness baseline: it cannot be fooled
+by local minima or by a badly scaled constraint, which makes it the seed and
+the cross-check for the gradient-based solver.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.core.parameters import ParameterSpace
+from repro.exceptions import SolverError
+from repro.optimization.result import SolverResult
+
+#: Signature of an objective: maps a solver-ordered array to a scalar.
+Objective = Callable[[np.ndarray], float]
+#: Signature of a constraint margin: ``>= 0`` means satisfied.
+Constraint = Callable[[np.ndarray], float]
+
+
+def _violation(constraints: Sequence[Constraint], point: np.ndarray) -> float:
+    """Largest constraint violation at ``point`` (0 when all satisfied)."""
+    worst = 0.0
+    for constraint in constraints:
+        margin = float(constraint(point))
+        if not np.isfinite(margin):
+            return float("inf")
+        worst = max(worst, -margin)
+    return worst
+
+
+def grid_search(
+    objective: Objective,
+    space: ParameterSpace,
+    constraints: Sequence[Constraint] = (),
+    points_per_dimension: int = 200,
+    maximize: bool = False,
+    feasibility_tolerance: float = 1e-9,
+) -> SolverResult:
+    """Minimize (or maximize) an objective over a full-factorial grid.
+
+    Args:
+        objective: Scalar objective of a solver-ordered parameter array.
+        space: The admissible box.
+        constraints: Margin functions; a point is feasible when every margin
+            is ``>= -feasibility_tolerance``.
+        points_per_dimension: Grid resolution along each axis.
+        maximize: Maximize instead of minimize.
+        feasibility_tolerance: Slack allowed on constraint margins.
+
+    Returns:
+        The best *feasible* grid point if one exists; otherwise the point of
+        least violation, flagged as infeasible.
+
+    Raises:
+        SolverError: if every grid point evaluates to a non-finite objective.
+    """
+    sign = -1.0 if maximize else 1.0
+    points = space.grid(points_per_dimension)
+
+    best: Optional[SolverResult] = None
+    evaluations = 0
+    for point in points:
+        evaluations += 1
+        violation = _violation(constraints, point)
+        if not np.isfinite(violation):
+            continue
+        raw = float(objective(point))
+        if not np.isfinite(raw):
+            continue
+        candidate = SolverResult(
+            x=point,
+            value=sign * raw,
+            feasible=violation <= feasibility_tolerance,
+            method="grid",
+            evaluations=evaluations,
+            constraint_violation=violation,
+        )
+        if candidate.better_than(best):
+            best = candidate
+    if best is None:
+        raise SolverError(
+            "grid search found no grid point with a finite objective value"
+        )
+    return SolverResult(
+        x=best.x,
+        value=sign * best.value if maximize else best.value,
+        feasible=best.feasible,
+        method="grid",
+        evaluations=evaluations,
+        constraint_violation=best.constraint_violation,
+        message=f"{points.shape[0]} grid points evaluated",
+    )

@@ -1,0 +1,77 @@
+"""Common result record returned by every solver in :mod:`repro.optimization`."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.exceptions import SolverError
+
+
+@dataclass(frozen=True)
+class SolverResult:
+    """Outcome of one constrained optimization run.
+
+    Attributes:
+        x: The best point found, in solver (array) order.
+        value: Objective value at ``x`` (always in the *minimization* sense
+            used internally; callers that maximize negate before/after).
+        feasible: Whether ``x`` satisfies all constraints within tolerance.
+        method: Name of the solver that produced the result.
+        evaluations: Number of objective evaluations spent.
+        message: Free-form diagnostic from the solver.
+        constraint_violation: Largest constraint violation at ``x`` (zero
+            when feasible).
+    """
+
+    x: np.ndarray
+    value: float
+    feasible: bool
+    method: str
+    evaluations: int = 0
+    message: str = ""
+    constraint_violation: float = 0.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "x", np.asarray(self.x, dtype=float).ravel())
+        if not np.all(np.isfinite(self.x)):
+            raise SolverError(f"solver produced a non-finite point: {self.x!r}")
+        if not np.isfinite(self.value):
+            raise SolverError(f"solver produced a non-finite objective value: {self.value!r}")
+
+    def require_feasible(self) -> "SolverResult":
+        """Return ``self`` if feasible, otherwise raise :class:`SolverError`."""
+        if not self.feasible:
+            raise SolverError(
+                f"{self.method} returned an infeasible point "
+                f"(violation {self.constraint_violation:.3g}): {self.message}"
+            )
+        return self
+
+    def better_than(self, other: Optional["SolverResult"]) -> bool:
+        """Whether this result should replace ``other`` as the incumbent.
+
+        Feasibility dominates the objective value; among equally (in)feasible
+        results the smaller objective (or the smaller violation) wins.
+        """
+        if other is None:
+            return True
+        if self.feasible != other.feasible:
+            return self.feasible
+        if self.feasible:
+            return self.value < other.value
+        return self.constraint_violation < other.constraint_violation
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dictionary view used by reports and benches."""
+        return {
+            "x": self.x.tolist(),
+            "value": self.value,
+            "feasible": self.feasible,
+            "method": self.method,
+            "evaluations": self.evaluations,
+            "constraint_violation": self.constraint_violation,
+            "message": self.message,
+        }

@@ -1,0 +1,96 @@
+"""Weighted-sum scalarization of two objectives.
+
+Scanning the weight of a convex combination ``w * f1 + (1 - w) * f2`` over
+``[0, 1]`` traces (a subset of) the Pareto frontier of the bi-objective
+problem.  The core framework uses this for two purposes:
+
+* drawing the energy-delay frontier curves behind the paper's figures, and
+* the bargaining-rule ablation, where the weighted-sum solution at
+  ``w = 0.5`` is contrasted with the Nash bargaining point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+import numpy as np
+
+from repro.core.parameters import ParameterSpace
+from repro.exceptions import SolverError
+from repro.optimization.grid import Constraint, Objective
+from repro.optimization.hybrid import hybrid_solve
+from repro.optimization.result import SolverResult
+
+
+@dataclass(frozen=True)
+class ScalarizedPoint:
+    """One point of a weighted-sum scan.
+
+    Attributes:
+        weight: Weight given to the first objective.
+        x: Optimal parameter vector for that weight.
+        first: Value of the first objective at ``x``.
+        second: Value of the second objective at ``x``.
+        feasible: Whether the point satisfies all constraints.
+    """
+
+    weight: float
+    x: np.ndarray
+    first: float
+    second: float
+    feasible: bool
+
+
+def weighted_sum_scan(
+    first: Objective,
+    second: Objective,
+    space: ParameterSpace,
+    constraints: Sequence[Constraint] = (),
+    weights: Sequence[float] | None = None,
+    first_scale: float | None = None,
+    second_scale: float | None = None,
+    grid_points_per_dimension: int = 80,
+) -> List[ScalarizedPoint]:
+    """Minimize ``w * first + (1 - w) * second`` for each weight.
+
+    Both objectives are normalized by a characteristic scale (their value at
+    the box midpoint unless explicit scales are given), so the weights are
+    meaningful even when the objectives differ by orders of magnitude
+    (joules vs seconds).
+    """
+    if weights is None:
+        weights = np.linspace(0.0, 1.0, 11)
+    midpoint = space.midpoint()
+    if first_scale is None:
+        first_scale = abs(float(first(midpoint))) or 1.0
+    if second_scale is None:
+        second_scale = abs(float(second(midpoint))) or 1.0
+    if first_scale <= 0 or second_scale <= 0:
+        raise SolverError("scalarization scales must be positive")
+
+    points: List[ScalarizedPoint] = []
+    for weight in weights:
+        weight = float(weight)
+        if not 0.0 <= weight <= 1.0:
+            raise SolverError(f"weights must lie in [0, 1], got {weight!r}")
+
+        def combined(x: np.ndarray, w: float = weight) -> float:
+            return w * float(first(x)) / first_scale + (1.0 - w) * float(second(x)) / second_scale
+
+        result: SolverResult = hybrid_solve(
+            combined,
+            space,
+            constraints,
+            grid_points_per_dimension=grid_points_per_dimension,
+        )
+        points.append(
+            ScalarizedPoint(
+                weight=weight,
+                x=result.x,
+                first=float(first(result.x)),
+                second=float(second(result.x)),
+                feasible=result.feasible,
+            )
+        )
+    return points

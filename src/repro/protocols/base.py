@@ -1,0 +1,300 @@
+"""Abstract base class for duty-cycled MAC analytical models.
+
+The paper requires, for every protocol, two system-wide cost functions of the
+tunable parameter vector ``X``:
+
+* ``E(X)`` — the energy consumption of the most loaded node (ring 1), broken
+  down into carrier sensing, transmission, reception, overhearing and
+  synchronization, exactly the decomposition written in Section 2;
+* ``L(X)`` — the end-to-end delay of the node farthest from the sink
+  (ring ``D``), i.e. the sum of per-hop latencies along its path.
+
+Concrete subclasses (:class:`~repro.protocols.xmac.XMACModel`,
+:class:`~repro.protocols.dmac.DMACModel`,
+:class:`~repro.protocols.lmac.LMACModel`, …) provide the per-ring energy
+breakdown, the per-hop latency and the protocol-specific capacity
+constraints; this base class provides the aggregation logic, parameter
+coercion and feasibility helpers shared by all of them.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Union
+
+import numpy as np
+
+from repro.core.parameters import ParameterSpace
+from repro.exceptions import ConfigurationError
+from repro.network.traffic import TrafficModel
+from repro.scenario import Scenario
+
+#: A parameter vector may be given as a mapping, a sequence or a numpy array.
+ParameterVector = Union[Mapping[str, float], Sequence[float], np.ndarray]
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Per-node energy consumption split by cause, in joules per second.
+
+    The attributes follow the decomposition in Section 2 of the paper:
+    ``E_n = E_cs + E_tx + E_rx + E_ovr + E_stx + E_srx``.
+    """
+
+    carrier_sense: float
+    transmit: float
+    receive: float
+    overhear: float
+    sync_transmit: float = 0.0
+    sync_receive: float = 0.0
+    sleep: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "carrier_sense",
+            "transmit",
+            "receive",
+            "overhear",
+            "sync_transmit",
+            "sync_receive",
+            "sleep",
+        ):
+            value = getattr(self, name)
+            if not np.isfinite(value) or value < 0:
+                raise ConfigurationError(
+                    f"EnergyBreakdown.{name} must be a finite non-negative number, got {value!r}"
+                )
+
+    @property
+    def total(self) -> float:
+        """Total per-node energy consumption in joules per second."""
+        return (
+            self.carrier_sense
+            + self.transmit
+            + self.receive
+            + self.overhear
+            + self.sync_transmit
+            + self.sync_receive
+            + self.sleep
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        """Return the breakdown as a dictionary including the total."""
+        return {
+            "carrier_sense": self.carrier_sense,
+            "transmit": self.transmit,
+            "receive": self.receive,
+            "overhear": self.overhear,
+            "sync_transmit": self.sync_transmit,
+            "sync_receive": self.sync_receive,
+            "sleep": self.sleep,
+            "total": self.total,
+        }
+
+
+class DutyCycledMACModel(abc.ABC):
+    """Analytical energy/latency model of one duty-cycled MAC protocol.
+
+    Args:
+        scenario: The shared evaluation environment (topology, traffic,
+            radio, frame sizes).
+
+    Subclasses must define :attr:`name`, :attr:`family`, and implement
+    :meth:`parameter_space`, :meth:`energy_breakdown`, :meth:`hop_latency`,
+    :meth:`duty_cycle` and :meth:`capacity_margin`.
+    """
+
+    #: Short protocol identifier, e.g. ``"X-MAC"``.
+    name: str = "abstract"
+    #: Protocol family, e.g. ``"preamble-sampling"``.
+    family: str = "abstract"
+
+    #: Maximum admissible channel utilization of the bottleneck node.  The
+    #: traffic model assumes an unsaturated network; keeping the busy
+    #: fraction below this threshold keeps that assumption honest.
+    max_utilization: float = 0.8
+
+    def __init__(self, scenario: Scenario) -> None:
+        if not isinstance(scenario, Scenario):
+            raise ConfigurationError(
+                f"scenario must be a Scenario, got {type(scenario).__name__}"
+            )
+        self._scenario = scenario
+        self._traffic = scenario.traffic
+
+    # ------------------------------------------------------------------ #
+    # Environment access
+    # ------------------------------------------------------------------ #
+
+    @property
+    def scenario(self) -> Scenario:
+        """The evaluation environment this model is bound to."""
+        return self._scenario
+
+    @property
+    def traffic(self) -> TrafficModel:
+        """The traffic model induced by the scenario."""
+        return self._traffic
+
+    # ------------------------------------------------------------------ #
+    # Abstract protocol-specific pieces
+    # ------------------------------------------------------------------ #
+
+    @property
+    @abc.abstractmethod
+    def parameter_space(self) -> ParameterSpace:
+        """The box of admissible tunable parameters ``Theta``."""
+
+    @abc.abstractmethod
+    def energy_breakdown(self, params: ParameterVector, ring: int) -> EnergyBreakdown:
+        """Per-node energy breakdown (J/s) for a node in the given ring."""
+
+    @abc.abstractmethod
+    def hop_latency(self, params: ParameterVector, ring: int) -> float:
+        """Expected one-hop forwarding latency (seconds) at the given ring.
+
+        ``ring`` is the ring of the *transmitting* node, i.e. the latency of
+        the link from ring ``d`` toward ring ``d - 1``.
+        """
+
+    @abc.abstractmethod
+    def duty_cycle(self, params: ParameterVector, ring: int) -> float:
+        """Fraction of time the radio of a ring-``d`` node is awake (0..1]."""
+
+    @abc.abstractmethod
+    def capacity_margin(self, params: ParameterVector) -> float:
+        """Slack of the bottleneck capacity constraint.
+
+        Returns a value that is ``>= 0`` when the configuration keeps the
+        most loaded node's channel utilization below
+        :attr:`max_utilization`, and negative (by the amount of violation)
+        otherwise.
+        """
+
+    # ------------------------------------------------------------------ #
+    # Aggregation (shared by all protocols)
+    # ------------------------------------------------------------------ #
+
+    def node_energy(self, params: ParameterVector, ring: int) -> float:
+        """Total per-node energy (J/s) for a node in the given ring."""
+        return self.energy_breakdown(params, ring).total
+
+    def system_energy(self, params: ParameterVector) -> float:
+        """System-wide energy ``E(X) = max_n E_n`` (J/s).
+
+        With the ring traffic model the maximum is attained at ring 1 (the
+        nodes that relay everything), but the maximum is computed over all
+        rings to keep the definition faithful to the paper.
+        """
+        values = self.ring_energies(params)
+        return max(values.values())
+
+    def ring_energies(self, params: ParameterVector) -> Dict[int, float]:
+        """Per-ring node energy (J/s), keyed by ring index."""
+        params = self.coerce(params)
+        return {
+            ring: self.node_energy(params, ring)
+            for ring in self._scenario.topology.rings()
+        }
+
+    def e2e_latency(self, params: ParameterVector, source_ring: int | None = None) -> float:
+        """End-to-end delay (seconds) of a packet generated at ``source_ring``.
+
+        Defaults to the farthest ring ``D``.  The delay is the sum of the
+        per-hop latencies along the shortest path ``d, d-1, …, 1``.
+        """
+        params = self.coerce(params)
+        depth = self._scenario.depth
+        if source_ring is None:
+            source_ring = depth
+        if not (1 <= source_ring <= depth):
+            raise ConfigurationError(
+                f"source_ring must be in [1, {depth}], got {source_ring!r}"
+            )
+        return sum(self.hop_latency(params, ring) for ring in range(1, source_ring + 1))
+
+    def system_latency(self, params: ParameterVector) -> float:
+        """System-wide delay ``L(X) = max_n L_n`` (seconds): the ring-``D`` delay."""
+        return self.e2e_latency(params, self._scenario.depth)
+
+    def lifetime_days(self, params: ParameterVector, battery_joules: float = 2.0 * 3600 * 3) -> float:
+        """Estimated bottleneck-node lifetime in days for a given battery.
+
+        Defaults to a pair of AA cells (~2 Ah at 3 V ≈ 21.6 kJ); only used by
+        examples and reports, never by the optimization itself.
+        """
+        if battery_joules <= 0:
+            raise ConfigurationError("battery_joules must be positive")
+        power = self.system_energy(params)
+        if power <= 0:
+            raise ConfigurationError("system energy must be positive")
+        return battery_joules / power / 86400.0
+
+    # ------------------------------------------------------------------ #
+    # Constraints and feasibility
+    # ------------------------------------------------------------------ #
+
+    def constraint_margins(self, params: ParameterVector) -> List[float]:
+        """All inequality-constraint slacks (``>= 0`` means satisfied).
+
+        By default this is the capacity margin plus the box-bound margins;
+        subclasses can extend it.
+        """
+        params_array = self.coerce_array(params)
+        space = self.parameter_space
+        margins: List[float] = [self.capacity_margin(params)]
+        margins.extend(float(m) for m in (params_array - space.lower_bounds))
+        margins.extend(float(m) for m in (space.upper_bounds - params_array))
+        return margins
+
+    def is_admissible(self, params: ParameterVector, tolerance: float = 1e-9) -> bool:
+        """Whether a parameter vector satisfies all protocol constraints."""
+        return all(margin >= -tolerance for margin in self.constraint_margins(params))
+
+    # ------------------------------------------------------------------ #
+    # Parameter coercion helpers
+    # ------------------------------------------------------------------ #
+
+    def coerce(self, params: ParameterVector) -> Dict[str, float]:
+        """Normalize any accepted parameter representation to a dictionary."""
+        space = self.parameter_space
+        if isinstance(params, Mapping):
+            # Validate names and ordering through the space round-trip.
+            return space.to_dict(space.to_array(params))
+        return space.to_dict(np.asarray(params, dtype=float))
+
+    def coerce_array(self, params: ParameterVector) -> np.ndarray:
+        """Normalize any accepted parameter representation to a solver array."""
+        space = self.parameter_space
+        if isinstance(params, Mapping):
+            return space.to_array(params)
+        array = np.asarray(params, dtype=float).ravel()
+        if array.shape[0] != space.dimension:
+            raise ConfigurationError(
+                f"{self.name}: expected {space.dimension} parameters, got {array.shape[0]}"
+            )
+        return array
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+
+    def evaluate(self, params: ParameterVector) -> Dict[str, object]:
+        """One-stop evaluation used by examples, the CLI and reports."""
+        params_dict = self.coerce(params)
+        bottleneck = self._scenario.topology.bottleneck_ring
+        return {
+            "protocol": self.name,
+            "family": self.family,
+            "parameters": params_dict,
+            "energy_j_per_s": self.system_energy(params_dict),
+            "delay_s": self.system_latency(params_dict),
+            "duty_cycle_bottleneck": self.duty_cycle(params_dict, bottleneck),
+            "energy_breakdown": self.energy_breakdown(params_dict, bottleneck).as_dict(),
+            "capacity_margin": self.capacity_margin(params_dict),
+            "admissible": self.is_admissible(params_dict),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(scenario={self._scenario.describe()})"

@@ -1,0 +1,108 @@
+"""Name-based protocol factory.
+
+The CLI, the experiment drivers and the benches refer to protocols by name
+(``"xmac"``, ``"dmac"``, ``"lmac"``, ``"scpmac"``); this module maps those
+names to the analytical model classes and instantiates them against a
+scenario.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Type
+
+from repro.exceptions import ConfigurationError
+from repro.protocols.base import DutyCycledMACModel
+from repro.protocols.dmac import DMACModel
+from repro.protocols.lmac import LMACModel
+from repro.protocols.scpmac import SCPMACModel
+from repro.protocols.xmac import XMACModel
+from repro.scenario import Scenario
+
+#: Mapping from canonical lower-case protocol name to its model class.
+_REGISTRY: Dict[str, Type[DutyCycledMACModel]] = {
+    "xmac": XMACModel,
+    "dmac": DMACModel,
+    "lmac": LMACModel,
+    "scpmac": SCPMACModel,
+}
+
+#: Aliases accepted on the command line and in configuration files.
+_ALIASES: Dict[str, str] = {
+    "x-mac": "xmac",
+    "d-mac": "dmac",
+    "l-mac": "lmac",
+    "scp-mac": "scpmac",
+    "scp": "scpmac",
+}
+
+#: Protocol family of each registered protocol (for reports).
+PROTOCOL_FAMILIES: Dict[str, str] = {
+    name: cls.family for name, cls in _REGISTRY.items()
+}
+
+#: The three protocols evaluated in the paper, in the paper's order.
+PAPER_PROTOCOL_NAMES = ("xmac", "dmac", "lmac")
+
+
+def canonical_name(name: str) -> str:
+    """Normalize a user-supplied protocol name to its canonical registry key."""
+    key = name.strip().lower()
+    key = _ALIASES.get(key, key)
+    if key not in _REGISTRY:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ConfigurationError(f"unknown protocol {name!r}; known protocols: {known}")
+    return key
+
+
+def available_protocols() -> List[str]:
+    """Canonical names of every registered protocol."""
+    return sorted(_REGISTRY)
+
+
+def protocol_class(name: str) -> Type[DutyCycledMACModel]:
+    """Return the model class registered under ``name``."""
+    return _REGISTRY[canonical_name(name)]
+
+
+def create_protocol(name: str, scenario: Scenario, **kwargs: object) -> DutyCycledMACModel:
+    """Instantiate the protocol model registered under ``name``.
+
+    Extra keyword arguments are forwarded to the model constructor (e.g.
+    ``max_frame=...`` for DMAC).
+    """
+    return protocol_class(name)(scenario, **kwargs)
+
+
+def paper_protocols(scenario: Scenario) -> Dict[str, DutyCycledMACModel]:
+    """Instantiate the three protocols of the paper against one scenario."""
+    return {name: create_protocol(name, scenario) for name in PAPER_PROTOCOL_NAMES}
+
+
+def register_protocol(name: str, cls: Type[DutyCycledMACModel]) -> None:
+    """Register a user-defined protocol model under ``name``.
+
+    This is the extension point for applying the framework to protocols
+    beyond the built-in ones; see ``examples/custom_protocol.py``.
+
+    Raises:
+        ConfigurationError: if the name is already taken or the class does
+            not derive from :class:`DutyCycledMACModel`.
+    """
+    key = name.strip().lower()
+    if not key:
+        raise ConfigurationError("protocol name must be non-empty")
+    if key in _REGISTRY or key in _ALIASES:
+        raise ConfigurationError(f"protocol name {name!r} is already registered")
+    if not (isinstance(cls, type) and issubclass(cls, DutyCycledMACModel)):
+        raise ConfigurationError("protocol class must derive from DutyCycledMACModel")
+    _REGISTRY[key] = cls
+    PROTOCOL_FAMILIES[key] = cls.family
+
+
+def unregister_protocol(name: str) -> None:
+    """Remove a previously registered user-defined protocol (test helper)."""
+    key = name.strip().lower()
+    if key in ("xmac", "dmac", "lmac", "scpmac"):
+        raise ConfigurationError(f"built-in protocol {name!r} cannot be unregistered")
+    _REGISTRY.pop(key, None)
+    PROTOCOL_FAMILIES.pop(key, None)

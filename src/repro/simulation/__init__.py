@@ -1,0 +1,40 @@
+"""Packet-level discrete-event simulator of duty-cycled MAC protocols.
+
+The paper is purely analytical; this subpackage provides the evaluation
+substrate it leans on: an operational, event-driven simulation of X-MAC,
+DMAC and LMAC on a concrete gathering tree, with per-node radio-state energy
+accounting and per-packet end-to-end delay measurement.  It is used to
+validate the analytical models (see
+:mod:`repro.analysis.validation` and ``benchmarks/bench_simulation_validation.py``).
+
+Fidelity level: the simulator works at the granularity of *forwarding
+operations* (channel polls, strobe trains, slots, data/ack exchanges), not
+individual symbols; carrier-sense deferral models contention.  This is the
+level the Langendoen & Meier analysis itself is written at, so analytical and
+simulated quantities are directly comparable.
+
+* :mod:`repro.simulation.engine` — event queue and simulation clock.
+* :mod:`repro.simulation.energy` — radio-state energy accounting per node.
+* :mod:`repro.simulation.packets` — data packets and delivery records.
+* :mod:`repro.simulation.node` — sensor node: queue, traffic generation.
+* :mod:`repro.simulation.channel` — shared-medium busy bookkeeping.
+* :mod:`repro.simulation.mac` — per-protocol forwarding behaviours.
+* :mod:`repro.simulation.runner` — experiment driver returning a
+  :class:`~repro.simulation.runner.SimulationResult`.
+"""
+
+from repro.simulation.engine import EventQueue, Simulator
+from repro.simulation.energy import EnergyAccount
+from repro.simulation.packets import DataPacket, DeliveryRecord
+from repro.simulation.runner import SimulationConfig, SimulationResult, simulate_protocol
+
+__all__ = [
+    "EventQueue",
+    "Simulator",
+    "EnergyAccount",
+    "DataPacket",
+    "DeliveryRecord",
+    "SimulationConfig",
+    "SimulationResult",
+    "simulate_protocol",
+]

@@ -1,0 +1,103 @@
+"""Per-node radio-state energy accounting.
+
+Each node owns an :class:`EnergyAccount` that integrates power over the time
+spent in each radio mode.  MAC behaviours do not compute energy themselves;
+they simply record "the radio was in RX from t1 to t2", which keeps the
+accounting uniform across protocols and makes double counting visible (the
+account refuses overlapping active intervals).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.exceptions import SimulationError
+from repro.network.radio import RadioMode, RadioModel
+
+
+@dataclass
+class EnergyAccount:
+    """Accumulates radio-on time and energy per operating mode for one node.
+
+    Attributes:
+        radio: The radio model used to translate durations into joules.
+        active_time: Accumulated seconds per mode.
+        activity_energy: Accumulated joules per activity label (e.g.
+            ``"poll"``, ``"strobe-tx"``, ``"data-rx"``); labels are free-form
+            and used by the validation reports to compare against the
+            analytical breakdown.
+    """
+
+    radio: RadioModel
+    active_time: Dict[RadioMode, float] = field(default_factory=dict)
+    activity_energy: Dict[str, float] = field(default_factory=dict)
+    _last_active_end: float = field(default=0.0, repr=False)
+
+    def record(self, mode: RadioMode, start: float, duration: float, activity: str = "") -> None:
+        """Record that the radio spent ``duration`` seconds in ``mode``.
+
+        Args:
+            mode: Radio operating mode during the interval.
+            start: Interval start time (used only for overlap detection of
+                active modes).
+            duration: Interval length in seconds (must be non-negative).
+            activity: Free-form label for the per-activity breakdown.
+
+        Raises:
+            SimulationError: if the duration is negative.
+        """
+        if duration < 0:
+            raise SimulationError(f"negative duration {duration!r} for activity {activity!r}")
+        if duration == 0.0:
+            return
+        mode = RadioMode(mode)
+        self.active_time[mode] = self.active_time.get(mode, 0.0) + duration
+        if mode is not RadioMode.SLEEP:
+            end = start + duration
+            if end > self._last_active_end:
+                self._last_active_end = end
+        energy = self.radio.power(mode) * duration
+        key = activity or mode.value
+        self.activity_energy[key] = self.activity_energy.get(key, 0.0) + energy
+
+    # ------------------------------------------------------------------ #
+    # Aggregates
+    # ------------------------------------------------------------------ #
+
+    def total_active_time(self) -> float:
+        """Total seconds spent in a non-sleep mode."""
+        return sum(
+            duration
+            for mode, duration in self.active_time.items()
+            if mode is not RadioMode.SLEEP
+        )
+
+    def total_energy(self, horizon: float) -> float:
+        """Total energy (joules) consumed over a simulation horizon.
+
+        Sleep energy for the time not covered by recorded intervals is added
+        automatically, so callers only record active periods.
+        """
+        if horizon <= 0:
+            raise SimulationError(f"horizon must be positive, got {horizon!r}")
+        active_energy = sum(
+            self.radio.power(mode) * duration for mode, duration in self.active_time.items()
+        )
+        recorded_time = sum(self.active_time.values())
+        residual_sleep = max(0.0, horizon - recorded_time)
+        return active_energy + residual_sleep * self.radio.power_sleep
+
+    def average_power(self, horizon: float) -> float:
+        """Average power (J/s) over the horizon — comparable to ``E(X)``."""
+        return self.total_energy(horizon) / horizon
+
+    def duty_cycle(self, horizon: float) -> float:
+        """Fraction of the horizon spent with the radio on."""
+        if horizon <= 0:
+            raise SimulationError(f"horizon must be positive, got {horizon!r}")
+        return min(1.0, self.total_active_time() / horizon)
+
+    def breakdown(self) -> Dict[str, float]:
+        """Energy per activity label (joules)."""
+        return dict(sorted(self.activity_energy.items()))

@@ -1,0 +1,176 @@
+"""Discrete-event simulation engine.
+
+A deliberately small, dependency-free engine: a priority queue of timestamped
+events (callbacks), a clock, and a run loop with an end time and an event
+budget.  Determinism matters more than speed here — ties are broken by a
+monotonically increasing sequence number so repeated runs with the same seed
+produce identical traces.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.exceptions import SimulationError
+
+#: An event action is a zero-argument callback executed at its firing time.
+EventAction = Callable[[], None]
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    """Internal heap entry: (time, sequence) ordering, payload not compared."""
+
+    time: float
+    sequence: int
+    action: EventAction = field(compare=False)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+
+class EventHandle:
+    """Handle returned by :meth:`EventQueue.schedule`, usable to cancel."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _ScheduledEvent) -> None:
+        self._event = event
+
+    def cancel(self) -> None:
+        """Cancel the event; a cancelled event is skipped by the run loop."""
+        self._event.cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether the event has been cancelled."""
+        return self._event.cancelled
+
+    @property
+    def time(self) -> float:
+        """Scheduled firing time of the event."""
+        return self._event.time
+
+
+class EventQueue:
+    """Priority queue of scheduled events."""
+
+    def __init__(self) -> None:
+        self._heap: List[_ScheduledEvent] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def push(self, time: float, action: EventAction, label: str = "") -> EventHandle:
+        """Schedule ``action`` at absolute ``time``."""
+        event = _ScheduledEvent(time=float(time), sequence=next(self._counter), action=action, label=label)
+        heapq.heappush(self._heap, event)
+        return EventHandle(event)
+
+    def pop(self) -> Optional[_ScheduledEvent]:
+        """Pop the next non-cancelled event, or ``None`` if the queue is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Firing time of the next non-cancelled event, or ``None``."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+
+class Simulator:
+    """Simulation clock and run loop.
+
+    Args:
+        max_events: Safety budget on the number of processed events; reaching
+            it raises :class:`SimulationError` (it always indicates a bug
+            such as a zero-length timer loop).
+    """
+
+    def __init__(self, max_events: int = 5_000_000) -> None:
+        if max_events <= 0:
+            raise SimulationError("max_events must be positive")
+        self._queue = EventQueue()
+        self._now = 0.0
+        self._max_events = int(max_events)
+        self._processed = 0
+        self._running = False
+
+    # ------------------------------------------------------------------ #
+    # Clock and scheduling
+    # ------------------------------------------------------------------ #
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events processed so far."""
+        return self._processed
+
+    def schedule_at(self, time: float, action: EventAction, label: str = "") -> EventHandle:
+        """Schedule an event at an absolute time (must not be in the past)."""
+        if time < self._now - 1e-12:
+            raise SimulationError(
+                f"cannot schedule event {label!r} at {time:.9f} before now ({self._now:.9f})"
+            )
+        return self._queue.push(max(time, self._now), action, label)
+
+    def schedule_in(self, delay: float, action: EventAction, label: str = "") -> EventHandle:
+        """Schedule an event ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r} for event {label!r}")
+        return self._queue.push(self._now + delay, action, label)
+
+    # ------------------------------------------------------------------ #
+    # Run loop
+    # ------------------------------------------------------------------ #
+
+    def run_until(self, end_time: float) -> None:
+        """Process events in timestamp order until ``end_time`` (inclusive).
+
+        Events scheduled beyond ``end_time`` remain in the queue; the clock
+        is left at ``end_time`` so post-run bookkeeping (e.g. closing energy
+        accounts) sees the full horizon.
+        """
+        if end_time < self._now:
+            raise SimulationError(
+                f"end_time {end_time!r} is before the current time {self._now!r}"
+            )
+        if self._running:
+            raise SimulationError("run_until() is not reentrant")
+        self._running = True
+        try:
+            while True:
+                next_time = self._queue.peek_time()
+                if next_time is None or next_time > end_time:
+                    break
+                event = self._queue.pop()
+                if event is None:
+                    break
+                self._processed += 1
+                if self._processed > self._max_events:
+                    raise SimulationError(
+                        f"event budget exceeded ({self._max_events}); "
+                        f"last event {event.label!r} at t={event.time:.6f}"
+                    )
+                self._now = event.time
+                event.action()
+            self._now = end_time
+        finally:
+            self._running = False
+
+    def pending_events(self) -> int:
+        """Number of events still waiting in the queue."""
+        return len(self._queue)

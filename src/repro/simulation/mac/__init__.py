@@ -1,0 +1,24 @@
+"""Per-protocol forwarding behaviours for the simulator.
+
+Each behaviour translates the protocol's operation into three things the
+runner needs: the periodic (traffic-independent) energy cost of a node, the
+time at which a queued packet can actually be handed to the next hop, and the
+energy charged to the sender, the receiver and the overhearing neighbours for
+that hop.
+"""
+
+from repro.simulation.mac.base import HopOutcome, MACSimBehaviour, next_occurrence
+from repro.simulation.mac.xmac import XMACSimBehaviour
+from repro.simulation.mac.dmac import DMACSimBehaviour
+from repro.simulation.mac.lmac import LMACSimBehaviour
+from repro.simulation.mac.factory import behaviour_for_model
+
+__all__ = [
+    "HopOutcome",
+    "MACSimBehaviour",
+    "next_occurrence",
+    "XMACSimBehaviour",
+    "DMACSimBehaviour",
+    "LMACSimBehaviour",
+    "behaviour_for_model",
+]

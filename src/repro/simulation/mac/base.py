@@ -1,0 +1,159 @@
+"""Base class shared by the simulated MAC behaviours.
+
+A behaviour is instantiated from an analytical protocol model plus a concrete
+parameter vector, so the simulator and the closed-form model are guaranteed
+to describe the same configuration (same wake-up interval, frame length,
+slot structure, radio and frame sizes).
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+from repro.network.packets import PacketModel
+from repro.network.radio import RadioModel
+from repro.protocols.base import DutyCycledMACModel
+from repro.simulation.channel import Channel
+from repro.simulation.node import SensorNode
+
+
+def next_occurrence(now: float, period: float, offset: float) -> float:
+    """First time ``>= now`` of the periodic schedule ``offset + k * period``.
+
+    Args:
+        now: Current time.
+        period: Schedule period (must be positive).
+        offset: Phase offset of the schedule.
+
+    Raises:
+        SimulationError: if the period is not positive.
+    """
+    if period <= 0:
+        raise SimulationError(f"period must be positive, got {period!r}")
+    if now <= offset:
+        return offset
+    cycles = math.ceil((now - offset) / period - 1e-12)
+    return offset + cycles * period
+
+
+@dataclass(frozen=True)
+class HopOutcome:
+    """Result of planning one hop transmission.
+
+    Attributes:
+        transmission_start: Time the sender starts occupying the medium.
+        completion: Time at which the packet is fully handed to the receiver
+            (queueable at the next hop).
+        airtime: Time the medium is reserved around the sender.
+    """
+
+    transmission_start: float
+    completion: float
+    airtime: float
+
+    def __post_init__(self) -> None:
+        if self.completion < self.transmission_start:
+            raise SimulationError("hop completes before its transmission starts")
+        if self.airtime < 0:
+            raise SimulationError("airtime must be non-negative")
+
+
+class MACSimBehaviour(abc.ABC):
+    """Simulated counterpart of one :class:`DutyCycledMACModel` configuration.
+
+    Args:
+        model: The analytical protocol model (provides scenario and timing
+            constants).
+        params: The concrete parameter vector to simulate.
+        rng: Source of randomness for phases and backoffs.
+    """
+
+    name: str = "abstract"
+
+    def __init__(
+        self,
+        model: DutyCycledMACModel,
+        params: Mapping[str, float] | Sequence[float] | np.ndarray,
+        rng: np.random.Generator,
+    ) -> None:
+        self._model = model
+        self._params = model.coerce(params)
+        self._rng = rng
+        self._scenario = model.scenario
+        self._radio: RadioModel = model.scenario.radio
+        self._packets: PacketModel = model.scenario.packets
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def model(self) -> DutyCycledMACModel:
+        """The analytical model this behaviour was built from."""
+        return self._model
+
+    @property
+    def params(self) -> Mapping[str, float]:
+        """The simulated parameter vector."""
+        return dict(self._params)
+
+    @property
+    def radio(self) -> RadioModel:
+        """The radio hardware model."""
+        return self._radio
+
+    @property
+    def rng(self) -> np.random.Generator:
+        """The behaviour's random generator."""
+        return self._rng
+
+    def backoff(self, scale: float) -> float:
+        """A small uniform random backoff in ``[0, scale]`` seconds."""
+        if scale <= 0:
+            return 0.0
+        return float(self._rng.uniform(0.0, scale))
+
+    # ------------------------------------------------------------------ #
+    # Protocol-specific pieces
+    # ------------------------------------------------------------------ #
+
+    @abc.abstractmethod
+    def assign_phase(self, node: SensorNode) -> float:
+        """Random phase offset of the node's periodic activity (seconds)."""
+
+    @abc.abstractmethod
+    def charge_periodic_energy(self, node: SensorNode, horizon: float) -> None:
+        """Charge the node's traffic-independent periodic costs over the run.
+
+        These are the costs a node pays even when it never sees a packet
+        (channel polls, slot listening, schedule maintenance); they are
+        deterministic, so they are charged in closed form instead of being
+        simulated event by event.
+        """
+
+    @abc.abstractmethod
+    def plan_hop(
+        self,
+        sender: SensorNode,
+        receiver: SensorNode,
+        now: float,
+        channel: Channel,
+        overhearers: Sequence[SensorNode],
+    ) -> HopOutcome:
+        """Plan (and account for) forwarding one packet from sender to receiver.
+
+        Implementations must:
+
+        * determine when the transmission can actually start (next wake-up /
+          slot of the relevant party, medium availability via ``channel``),
+        * reserve the medium around the sender for the airtime,
+        * charge the transmission/reception energies to the sender's and
+          receiver's accounts and overhearing energy to ``overhearers``,
+        * return the :class:`HopOutcome` with the completion time.
+        """

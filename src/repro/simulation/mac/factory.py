@@ -1,0 +1,55 @@
+"""Factory mapping analytical models to simulated behaviours."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence, Type
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+from repro.protocols.base import DutyCycledMACModel
+from repro.protocols.dmac import DMACModel
+from repro.protocols.lmac import LMACModel
+from repro.protocols.xmac import XMACModel
+from repro.simulation.mac.base import MACSimBehaviour
+from repro.simulation.mac.dmac import DMACSimBehaviour
+from repro.simulation.mac.lmac import LMACSimBehaviour
+from repro.simulation.mac.xmac import XMACSimBehaviour
+
+#: Analytical-model class → simulated-behaviour class.
+_BEHAVIOURS: dict[Type[DutyCycledMACModel], Type[MACSimBehaviour]] = {
+    XMACModel: XMACSimBehaviour,
+    DMACModel: DMACSimBehaviour,
+    LMACModel: LMACSimBehaviour,
+}
+
+
+def behaviour_for_model(
+    model: DutyCycledMACModel,
+    params: Mapping[str, float] | Sequence[float] | np.ndarray,
+    rng: np.random.Generator,
+) -> MACSimBehaviour:
+    """Instantiate the simulated behaviour matching an analytical model.
+
+    Raises:
+        SimulationError: if the model has no registered simulated
+            counterpart (e.g. SCP-MAC, which is analytical-only).
+    """
+    for model_class, behaviour_class in _BEHAVIOURS.items():
+        if isinstance(model, model_class):
+            return behaviour_class(model, params, rng)
+    raise SimulationError(
+        f"no simulated behaviour is registered for {type(model).__name__}; "
+        f"simulable protocols: {[cls.__name__ for cls in _BEHAVIOURS]}"
+    )
+
+
+def register_behaviour(
+    model_class: Type[DutyCycledMACModel], behaviour_class: Type[MACSimBehaviour]
+) -> None:
+    """Register a simulated behaviour for a user-defined protocol model."""
+    if not issubclass(model_class, DutyCycledMACModel):
+        raise SimulationError("model_class must derive from DutyCycledMACModel")
+    if not issubclass(behaviour_class, MACSimBehaviour):
+        raise SimulationError("behaviour_class must derive from MACSimBehaviour")
+    _BEHAVIOURS[model_class] = behaviour_class

@@ -1,0 +1,121 @@
+"""Simulated X-MAC behaviour.
+
+Receivers poll the channel every wake-up interval ``Tw`` (each node has its
+own random phase); a sender strobes from the moment it acquires the medium
+until the receiver's next poll, then exchanges data and acknowledgement.
+Neighbours of the sender that poll during the strobe train overhear one
+strobe period each.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.network.radio import RadioMode
+from repro.protocols.base import DutyCycledMACModel
+from repro.protocols.xmac import XMACModel
+from repro.simulation.channel import Channel
+from repro.simulation.mac.base import HopOutcome, MACSimBehaviour, next_occurrence
+from repro.simulation.node import SensorNode
+
+
+class XMACSimBehaviour(MACSimBehaviour):
+    """Operational simulation of X-MAC for one parameter setting."""
+
+    name = "X-MAC"
+
+    def __init__(
+        self,
+        model: DutyCycledMACModel,
+        params: Mapping[str, float] | Sequence[float] | np.ndarray,
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__(model, params, rng)
+        self._wakeup = self._params[XMACModel.WAKEUP_INTERVAL]
+        radio = self._radio
+        packets = self._packets
+        self._strobe = packets.strobe_airtime(radio)
+        self._ack = packets.ack_airtime(radio)
+        self._data = packets.data_airtime(radio)
+        self._gap = self._ack + 2.0 * radio.turnaround_time
+        self._strobe_period = self._strobe + self._gap
+        self._poll = radio.wakeup_time + radio.carrier_sense_time
+        self._exchange = self._data + radio.turnaround_time + self._ack
+
+    # ------------------------------------------------------------------ #
+    # Periodic behaviour
+    # ------------------------------------------------------------------ #
+
+    def assign_phase(self, node: SensorNode) -> float:
+        """Each node polls on its own schedule with a uniform random phase."""
+        return float(self._rng.uniform(0.0, self._wakeup))
+
+    def charge_periodic_energy(self, node: SensorNode, horizon: float) -> None:
+        """Channel polls: one short carrier sense every wake-up interval."""
+        polls = int(horizon / self._wakeup)
+        node.energy.record(
+            RadioMode.RX, 0.0, polls * self._poll, activity="poll"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Forwarding
+    # ------------------------------------------------------------------ #
+
+    def plan_hop(
+        self,
+        sender: SensorNode,
+        receiver: SensorNode,
+        now: float,
+        channel: Channel,
+        overhearers: Sequence[SensorNode],
+    ) -> HopOutcome:
+        """Strobe until the receiver's next poll, then exchange data and ack."""
+        start = channel.free_at(sender.node_id, now)
+        if start > now:
+            start += self.backoff(self._strobe_period)
+        # The receiver polls at phase + k * Tw; the strobe train must cover
+        # the first poll after the strobing starts.
+        receiver_poll = next_occurrence(start, self._wakeup, receiver.phase)
+        strobe_duration = max(0.0, receiver_poll - start) + self._strobe_period
+        transmission_end = start + strobe_duration + self._exchange
+        airtime = strobe_duration + self._exchange
+        channel.reserve(sender.node_id, start, airtime)
+
+        # Sender: alternating strobes and ack-listen gaps, then data + ack.
+        strobe_tx_fraction = self._strobe / self._strobe_period
+        sender.energy.record(
+            RadioMode.TX, start, strobe_duration * strobe_tx_fraction, activity="strobe-tx"
+        )
+        sender.energy.record(
+            RadioMode.RX,
+            start,
+            strobe_duration * (1.0 - strobe_tx_fraction),
+            activity="strobe-ack-listen",
+        )
+        sender.energy.record(RadioMode.TX, start, self._data, activity="data-tx")
+        sender.energy.record(RadioMode.RX, start, self._ack, activity="ack-rx")
+
+        # Receiver: wakes at its poll, hears the residual strobe, answers the
+        # early ack, receives the data frame and acknowledges it.
+        receiver.energy.record(
+            RadioMode.RX, receiver_poll, 0.5 * self._strobe_period + self._strobe, activity="strobe-rx"
+        )
+        receiver.energy.record(RadioMode.TX, receiver_poll, self._ack, activity="early-ack-tx")
+        receiver.energy.record(RadioMode.RX, receiver_poll, self._data, activity="data-rx")
+        receiver.energy.record(RadioMode.TX, receiver_poll, self._ack, activity="ack-tx")
+
+        # Overhearers: neighbours whose poll falls inside the strobe train
+        # wake up, hear one addressed strobe, and go back to sleep.
+        for neighbour in overhearers:
+            poll_time = next_occurrence(start, self._wakeup, neighbour.phase)
+            if poll_time <= start + strobe_duration:
+                neighbour.energy.record(
+                    RadioMode.RX, poll_time, 1.5 * self._strobe_period, activity="overhear"
+                )
+        return HopOutcome(
+            transmission_start=start,
+            completion=transmission_end,
+            airtime=airtime,
+        )

@@ -1,0 +1,96 @@
+"""Data packets and delivery records used by the simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.exceptions import SimulationError
+
+
+@dataclass
+class DataPacket:
+    """One application data packet travelling toward the sink.
+
+    Attributes:
+        packet_id: Unique identifier.
+        source: Node id that generated the packet.
+        created_at: Simulation time of generation.
+        hops: Number of hops traversed so far.
+        current_holder: Node currently holding the packet.
+    """
+
+    packet_id: int
+    source: int
+    created_at: float
+    hops: int = 0
+    current_holder: Optional[int] = None
+
+    def record_hop(self, node: int) -> None:
+        """Note that the packet has been forwarded to ``node``."""
+        self.hops += 1
+        self.current_holder = node
+
+
+@dataclass(frozen=True)
+class DeliveryRecord:
+    """Delivery information for one packet that reached the sink.
+
+    Attributes:
+        packet_id: Identifier of the delivered packet.
+        source: Originating node.
+        source_ring: Hop distance of the originating node from the sink.
+        created_at: Generation time.
+        delivered_at: Sink arrival time.
+        hops: Number of hops traversed.
+    """
+
+    packet_id: int
+    source: int
+    source_ring: int
+    created_at: float
+    delivered_at: float
+    hops: int
+
+    def __post_init__(self) -> None:
+        if self.delivered_at < self.created_at:
+            raise SimulationError(
+                f"packet {self.packet_id} delivered before it was created "
+                f"({self.delivered_at} < {self.created_at})"
+            )
+
+    @property
+    def delay(self) -> float:
+        """End-to-end delay in seconds."""
+        return self.delivered_at - self.created_at
+
+
+@dataclass
+class PacketLog:
+    """Collects generated and delivered packets during a simulation run."""
+
+    generated: int = 0
+    delivered: List[DeliveryRecord] = field(default_factory=list)
+
+    def record_generated(self) -> None:
+        """Count one generated packet."""
+        self.generated += 1
+
+    def record_delivery(self, record: DeliveryRecord) -> None:
+        """Store a delivery record."""
+        self.delivered.append(record)
+
+    @property
+    def delivery_ratio(self) -> float:
+        """Fraction of generated packets that reached the sink."""
+        if self.generated == 0:
+            return 0.0
+        return len(self.delivered) / self.generated
+
+    def delays(self, source_ring: Optional[int] = None) -> List[float]:
+        """End-to-end delays of delivered packets (optionally for one ring)."""
+        return [
+            record.delay
+            for record in self.delivered
+            if source_ring is None or record.source_ring == source_ring
+        ]

@@ -1,0 +1,135 @@
+"""Tests for sweeps, reporting, validation and scalability analysis."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.reporting import format_table, solutions_to_rows, write_csv
+from repro.analysis.scalability import scalability_study
+from repro.analysis.sweep import sweep_delay_bound, sweep_energy_budget
+from repro.analysis.validation import validate_protocol
+from repro.core.requirements import ApplicationRequirements
+from repro.exceptions import ConfigurationError
+from repro.protocols import XMACModel
+from repro.simulation import SimulationConfig
+
+FAST = {"grid_points_per_dimension": 40, "random_starts": 2}
+
+
+class TestSweeps:
+    def test_delay_sweep_produces_one_solution_per_feasible_value(self, xmac):
+        result = sweep_delay_bound(xmac, energy_budget=0.06, delay_bounds=[1.0, 3.0], **FAST)
+        assert result.swept_parameter == "max_delay"
+        assert len(result.solutions) == 2
+        assert not result.infeasible_values
+
+    def test_delay_sweep_flags_infeasible_values(self, xmac):
+        result = sweep_delay_bound(
+            xmac, energy_budget=0.06, delay_bounds=[0.001, 3.0], **FAST
+        )
+        assert result.infeasible_values == [0.001]
+        assert len(result.solutions) == 1
+        assert result.feasible_values == [3.0]
+
+    def test_energy_sweep_produces_series_rows(self, xmac):
+        result = sweep_energy_budget(xmac, max_delay=6.0, energy_budgets=[0.01, 0.05], **FAST)
+        rows = result.series()
+        assert len(rows) == 2
+        assert rows[0]["protocol"] == "X-MAC"
+        assert "E_star" in rows[0]
+
+    def test_relaxing_delay_bound_never_increases_best_energy(self, xmac):
+        result = sweep_delay_bound(xmac, energy_budget=0.06, delay_bounds=[0.8, 2.0, 5.0], **FAST)
+        best = [s.energy_best for s in result.solutions]
+        assert best[0] >= best[1] >= best[2]
+
+
+class TestReporting:
+    def test_format_table_alignment_and_content(self):
+        rows = [{"a": 1.0, "b": "x"}, {"a": 2.5, "b": "yy"}]
+        table = format_table(rows)
+        lines = table.splitlines()
+        assert lines[0].startswith("a")
+        assert len(lines) == 4
+
+    def test_format_table_rejects_mismatched_rows(self):
+        with pytest.raises(ConfigurationError):
+            format_table([{"a": 1}, {"b": 2}])
+
+    def test_format_table_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_write_csv_round_trip(self, tmp_path: Path):
+        rows = [{"a": 1, "b": 2}, {"a": 3, "b": 4}]
+        path = write_csv(rows, tmp_path / "out" / "table.csv")
+        content = path.read_text().strip().splitlines()
+        assert content[0] == "a,b"
+        assert content[1] == "1,2"
+
+    def test_write_csv_rejects_empty(self, tmp_path: Path):
+        with pytest.raises(ConfigurationError):
+            write_csv([], tmp_path / "empty.csv")
+
+    def test_solutions_to_rows(self, xmac):
+        result = sweep_delay_bound(xmac, energy_budget=0.06, delay_bounds=[2.0], **FAST)
+        rows = solutions_to_rows(result.solutions, "Lmax[s]", [2.0])
+        assert rows[0]["Lmax[s]"] == 2.0
+        assert rows[0]["L_star[ms]"] > 0
+
+
+class TestValidation:
+    def test_validation_report_fields_and_errors(self, small_scenario):
+        model = XMACModel(small_scenario)
+        report = validate_protocol(
+            model,
+            {"wakeup_interval": 0.4},
+            SimulationConfig(horizon=1500.0, seed=3),
+        )
+        assert report.protocol == "X-MAC"
+        assert report.delivery_ratio > 0.95
+        assert report.energy_error < 0.35
+        assert report.delay_error < 0.5
+        as_dict = report.as_dict()
+        assert "energy_error" in as_dict and "delay_error" in as_dict
+
+    def test_within_helper(self, small_scenario):
+        model = XMACModel(small_scenario)
+        report = validate_protocol(
+            model, {"wakeup_interval": 0.4}, SimulationConfig(horizon=1000.0, seed=3)
+        )
+        assert report.within(energy_tolerance=1.0, delay_tolerance=1.0)
+        assert not report.within(energy_tolerance=1e-9, delay_tolerance=1e-9)
+
+
+class TestScalability:
+    def test_solve_time_does_not_blow_up_with_node_count(self):
+        requirements = ApplicationRequirements(energy_budget=0.06, max_delay=6.0)
+        records = scalability_study(
+            XMACModel,
+            sizes=[(3, 4), (6, 8), (9, 10)],
+            requirements=requirements,
+            grid_points_per_dimension=30,
+            random_starts=1,
+        )
+        assert len(records) == 3
+        nodes = [record.node_count for record in records]
+        assert nodes == sorted(nodes)
+        assert nodes[-1] > 15 * nodes[0]
+        times = [record.solve_seconds for record in records]
+        # The game is solved over MAC parameters, not nodes: a 16x larger
+        # network must not cost anywhere near 16x the solve time.
+        assert times[-1] < 6.0 * max(times[0], 0.05)
+
+    def test_records_contain_solution_values(self):
+        requirements = ApplicationRequirements(energy_budget=0.06, max_delay=6.0)
+        records = scalability_study(
+            XMACModel,
+            sizes=[(3, 4)],
+            requirements=requirements,
+            grid_points_per_dimension=30,
+            random_starts=1,
+        )
+        assert records[0].energy_star > 0
+        assert records[0].delay_star > 0

@@ -1,0 +1,81 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.requirements import ApplicationRequirements
+from repro.network.packets import PacketModel
+from repro.network.radio import cc2420
+from repro.network.topology import RingTopology
+from repro.protocols.dmac import DMACModel
+from repro.protocols.lmac import LMACModel
+from repro.protocols.scpmac import SCPMACModel
+from repro.protocols.xmac import XMACModel
+from repro.scenario import Scenario
+
+
+@pytest.fixture
+def small_scenario() -> Scenario:
+    """A small, fast scenario used by most unit tests."""
+    return Scenario(
+        topology=RingTopology(depth=4, density=6),
+        sampling_rate=1.0 / 600.0,
+        radio=cc2420(),
+        packets=PacketModel(payload_bytes=32.0),
+    )
+
+
+@pytest.fixture
+def paper_scenario() -> Scenario:
+    """The scenario used by the figure reproductions (slower, larger)."""
+    return Scenario(
+        topology=RingTopology(depth=5, density=8),
+        sampling_rate=1.0 / 3600.0,
+    )
+
+
+@pytest.fixture
+def requirements(small_scenario: Scenario) -> ApplicationRequirements:
+    """Loose application requirements that every protocol can meet."""
+    return ApplicationRequirements(
+        energy_budget=0.06,
+        max_delay=6.0,
+        sampling_rate=small_scenario.sampling_rate,
+    )
+
+
+@pytest.fixture
+def xmac(small_scenario: Scenario) -> XMACModel:
+    """X-MAC model bound to the small scenario."""
+    return XMACModel(small_scenario)
+
+
+@pytest.fixture
+def dmac(small_scenario: Scenario) -> DMACModel:
+    """DMAC model bound to the small scenario."""
+    return DMACModel(small_scenario)
+
+
+@pytest.fixture
+def lmac(small_scenario: Scenario) -> LMACModel:
+    """LMAC model bound to the small scenario."""
+    return LMACModel(small_scenario)
+
+
+@pytest.fixture
+def scpmac(small_scenario: Scenario) -> SCPMACModel:
+    """SCP-MAC model bound to the small scenario."""
+    return SCPMACModel(small_scenario)
+
+
+@pytest.fixture
+def all_protocols(xmac, dmac, lmac, scpmac):
+    """The four protocol models, keyed by canonical name."""
+    return {"xmac": xmac, "dmac": dmac, "lmac": lmac, "scpmac": scpmac}
+
+
+def midpoint_params(model):
+    """Convenience: the midpoint of a model's parameter box as a dict."""
+    space = model.parameter_space
+    return space.to_dict(space.midpoint())

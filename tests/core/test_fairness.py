@@ -1,0 +1,80 @@
+"""Unit tests for the proportional-fairness identity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.fairness import (
+    fairness_shares,
+    is_proportionally_fair,
+    proportional_fairness_residual,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestFairnessShares:
+    def test_equal_shares_give_zero_residual(self):
+        # Both players concede exactly half of their worst-to-best distance.
+        residual = proportional_fairness_residual(
+            energy_star=0.03,
+            delay_star=3.0,
+            energy_best=0.01,
+            energy_worst=0.05,
+            delay_best=1.0,
+            delay_worst=5.0,
+        )
+        assert residual == pytest.approx(0.0)
+
+    def test_energy_player_favoured_gives_positive_residual(self):
+        residual = proportional_fairness_residual(
+            energy_star=0.015,  # close to Ebest
+            delay_star=4.5,  # close to Lworst
+            energy_best=0.01,
+            energy_worst=0.05,
+            delay_best=1.0,
+            delay_worst=5.0,
+        )
+        assert residual > 0
+
+    def test_delay_player_favoured_gives_negative_residual(self):
+        residual = proportional_fairness_residual(
+            energy_star=0.045,
+            delay_star=1.5,
+            energy_best=0.01,
+            energy_worst=0.05,
+            delay_best=1.0,
+            delay_worst=5.0,
+        )
+        assert residual < 0
+
+    def test_shares_at_corner_points(self):
+        energy_share, delay_share = fairness_shares(
+            energy_star=0.01,
+            delay_star=5.0,
+            energy_best=0.01,
+            energy_worst=0.05,
+            delay_best=1.0,
+            delay_worst=5.0,
+        )
+        assert energy_share == pytest.approx(1.0)
+        assert delay_share == pytest.approx(0.0)
+
+    def test_degenerate_player_treated_as_satisfied(self):
+        # Energy player's best equals its worst: its share is defined as 1.
+        energy_share, _ = fairness_shares(
+            energy_star=0.05,
+            delay_star=3.0,
+            energy_best=0.05,
+            energy_worst=0.05,
+            delay_best=1.0,
+            delay_worst=5.0,
+        )
+        assert energy_share == 1.0
+
+    def test_is_proportionally_fair_tolerance(self):
+        assert is_proportionally_fair(0.03, 3.0, 0.01, 0.05, 1.0, 5.0)
+        assert not is_proportionally_fair(0.011, 4.9, 0.01, 0.05, 1.0, 5.0, tolerance=0.01)
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(ConfigurationError):
+            proportional_fairness_residual("x", 1, 1, 1, 1, 1)  # type: ignore[arg-type]

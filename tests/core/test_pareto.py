@@ -1,0 +1,67 @@
+"""Unit tests for Pareto frontier utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.pareto import attainment_curve, hypervolume_2d, is_pareto_efficient, pareto_frontier
+from repro.exceptions import ConfigurationError
+
+
+class TestParetoFrontier:
+    def test_dominated_points_are_filtered(self):
+        points = [(1.0, 5.0), (2.0, 4.0), (3.0, 3.0), (2.5, 4.5), (4.0, 4.0)]
+        frontier = pareto_frontier(points)
+        assert [tuple(row) for row in frontier] == [(1.0, 5.0), (2.0, 4.0), (3.0, 3.0)]
+
+    def test_mask_matches_frontier(self):
+        points = np.array([(1.0, 1.0), (2.0, 2.0), (0.5, 3.0)])
+        mask = is_pareto_efficient(points)
+        assert mask.tolist() == [True, False, True]
+
+    def test_single_point_is_efficient(self):
+        assert is_pareto_efficient([(1.0, 1.0)]).tolist() == [True]
+
+    def test_duplicates_are_both_kept(self):
+        mask = is_pareto_efficient([(1.0, 2.0), (1.0, 2.0)])
+        assert mask.tolist() == [True, True]
+
+    def test_frontier_sorted_by_first_coordinate(self):
+        frontier = pareto_frontier([(3.0, 1.0), (1.0, 3.0), (2.0, 2.0)])
+        assert list(frontier[:, 0]) == sorted(frontier[:, 0])
+
+    def test_invalid_shapes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            pareto_frontier([(1.0, 2.0, 3.0)])
+        with pytest.raises(ConfigurationError):
+            pareto_frontier([(float("nan"), 1.0)])
+
+
+class TestHypervolume:
+    def test_rectangle_area_for_single_point(self):
+        assert hypervolume_2d([(1.0, 1.0)], reference=(3.0, 4.0)) == pytest.approx(6.0)
+
+    def test_two_point_staircase(self):
+        volume = hypervolume_2d([(1.0, 2.0), (2.0, 1.0)], reference=(3.0, 3.0))
+        # (3-1)*(3-2) + (3-2)*(2-1) = 2 + 1
+        assert volume == pytest.approx(3.0)
+
+    def test_better_frontier_has_larger_hypervolume(self):
+        good = hypervolume_2d([(1.0, 1.0)], reference=(4.0, 4.0))
+        bad = hypervolume_2d([(2.0, 2.0)], reference=(4.0, 4.0))
+        assert good > bad
+
+    def test_reference_must_dominate(self):
+        with pytest.raises(ConfigurationError):
+            hypervolume_2d([(5.0, 1.0)], reference=(4.0, 4.0))
+
+
+class TestAttainmentCurve:
+    def test_best_second_coordinate_under_budget(self):
+        points = [(1.0, 5.0), (2.0, 3.0), (3.0, 1.0)]
+        curve = attainment_curve(points, grid=[0.5, 1.5, 2.5, 3.5])
+        assert curve[0] == (0.5, float("inf"))
+        assert curve[1] == (1.5, 5.0)
+        assert curve[2] == (2.5, 3.0)
+        assert curve[3] == (3.5, 1.0)

@@ -1,0 +1,57 @@
+"""Unit tests for application requirements."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.requirements import ApplicationRequirements
+from repro.exceptions import ConfigurationError
+
+
+class TestApplicationRequirements:
+    def test_basic_properties(self):
+        requirements = ApplicationRequirements(energy_budget=0.05, max_delay=2.0, sampling_rate=0.01)
+        assert requirements.sampling_period == 100.0
+        assert requirements.max_delay_ms == 2000.0
+
+    def test_with_energy_budget_returns_copy(self):
+        base = ApplicationRequirements(energy_budget=0.05, max_delay=2.0)
+        changed = base.with_energy_budget(0.01)
+        assert changed.energy_budget == 0.01
+        assert base.energy_budget == 0.05
+        assert changed.max_delay == base.max_delay
+
+    def test_with_max_delay_returns_copy(self):
+        base = ApplicationRequirements(energy_budget=0.05, max_delay=2.0)
+        changed = base.with_max_delay(5.0)
+        assert changed.max_delay == 5.0
+        assert base.max_delay == 2.0
+
+    def test_satisfied_by(self):
+        requirements = ApplicationRequirements(energy_budget=0.05, max_delay=2.0)
+        assert requirements.satisfied_by(0.04, 1.5)
+        assert not requirements.satisfied_by(0.06, 1.5)
+        assert not requirements.satisfied_by(0.04, 2.5)
+
+    def test_satisfied_by_boundary_with_tolerance(self):
+        requirements = ApplicationRequirements(energy_budget=0.05, max_delay=2.0)
+        assert requirements.satisfied_by(0.05, 2.0)
+
+    def test_describe_round_trip(self):
+        requirements = ApplicationRequirements(energy_budget=0.02, max_delay=3.0, sampling_rate=0.5)
+        described = requirements.describe()
+        assert described["energy_budget_j_per_s"] == 0.02
+        assert described["max_delay_s"] == 3.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"energy_budget": 0.0, "max_delay": 1.0},
+            {"energy_budget": 0.1, "max_delay": 0.0},
+            {"energy_budget": -0.1, "max_delay": 1.0},
+            {"energy_budget": 0.1, "max_delay": 1.0, "sampling_rate": -1.0},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ApplicationRequirements(**kwargs)

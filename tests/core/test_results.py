@@ -1,0 +1,88 @@
+"""Unit tests for the core result dataclasses."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.results import BargainingOutcome, GameSolution, OptimizationOutcome, TradeoffPoint
+from repro.exceptions import ConfigurationError
+
+
+def _point(energy: float, delay: float) -> TradeoffPoint:
+    return TradeoffPoint(parameters={"x": 1.0}, energy=energy, delay=delay)
+
+
+def _solution() -> GameSolution:
+    energy_optimum = OptimizationOutcome(
+        problem="P1-energy", point=_point(0.01, 4.0), feasible=True, solver="grid"
+    )
+    delay_optimum = OptimizationOutcome(
+        problem="P2-delay", point=_point(0.05, 1.0), feasible=True, solver="grid"
+    )
+    bargaining = BargainingOutcome(
+        point=_point(0.03, 2.0),
+        nash_product=(0.05 - 0.03) * (4.0 - 2.0),
+        disagreement_energy=0.05,
+        disagreement_delay=4.0,
+        energy_gain=0.02,
+        delay_gain=2.0,
+        fairness_residual=0.01,
+    )
+    return GameSolution(
+        protocol="X-MAC",
+        energy_budget=0.06,
+        max_delay=6.0,
+        energy_optimum=energy_optimum,
+        delay_optimum=delay_optimum,
+        bargaining=bargaining,
+    )
+
+
+class TestTradeoffPoint:
+    def test_delay_ms_conversion(self):
+        assert _point(0.01, 1.5).delay_ms == pytest.approx(1500.0)
+
+    def test_negative_metrics_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TradeoffPoint(parameters={}, energy=-1.0, delay=1.0)
+
+    def test_as_dict_contains_parameters(self):
+        as_dict = _point(0.01, 1.0).as_dict()
+        assert as_dict["parameters"] == {"x": 1.0}
+        assert as_dict["delay_ms"] == 1000.0
+
+
+class TestGameSolution:
+    def test_paper_quantities_are_exposed(self):
+        solution = _solution()
+        assert solution.energy_best == 0.01
+        assert solution.delay_worst == 4.0
+        assert solution.energy_worst == 0.05
+        assert solution.delay_best == 1.0
+        assert solution.energy_star == 0.03
+        assert solution.delay_star == 2.0
+
+    def test_star_point_lies_between_corners(self):
+        solution = _solution()
+        assert solution.energy_best <= solution.energy_star <= solution.energy_worst
+        assert solution.delay_best <= solution.delay_star <= solution.delay_worst
+
+    def test_fully_feasible_flag(self):
+        assert _solution().is_fully_feasible
+
+    def test_as_dict_has_flat_paper_keys(self):
+        as_dict = _solution().as_dict()
+        for key in ("E_best", "L_worst", "E_worst", "L_best", "E_star", "L_star"):
+            assert key in as_dict
+        assert as_dict["L_star_ms"] == pytest.approx(2000.0)
+
+    def test_optimization_outcome_as_dict(self):
+        outcome = _solution().energy_optimum
+        as_dict = outcome.as_dict()
+        assert as_dict["problem"] == "P1-energy"
+        assert as_dict["feasible"] is True
+
+    def test_bargaining_outcome_as_dict(self):
+        as_dict = _solution().bargaining.as_dict()
+        assert as_dict["nash_product"] == pytest.approx(0.04)
+        assert as_dict["disagreement_energy"] == 0.05

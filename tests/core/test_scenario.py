@@ -1,0 +1,63 @@
+"""Tests for the Scenario container."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.network.radio import cc1100
+from repro.network.topology import RingTopology
+from repro.scenario import Scenario, default_scenario
+
+
+class TestScenario:
+    def test_default_scenario_shape(self):
+        scenario = default_scenario()
+        assert scenario.depth == 5
+        assert scenario.density == 8
+        assert scenario.sampling_period == pytest.approx(300.0)
+        assert scenario.radio.name == "CC2420"
+
+    def test_traffic_model_is_derived_from_scenario(self):
+        scenario = Scenario(topology=RingTopology(depth=3, density=4), sampling_rate=0.01)
+        assert scenario.traffic.sampling_rate == 0.01
+        assert scenario.traffic.topology.depth == 3
+
+    def test_with_topology_returns_modified_copy(self):
+        base = default_scenario()
+        changed = base.with_topology(depth=7)
+        assert changed.depth == 7
+        assert changed.density == base.density
+        assert base.depth == 5
+
+    def test_with_sampling_rate_and_radio(self):
+        base = default_scenario()
+        changed = base.with_sampling_rate(0.5).with_radio(cc1100())
+        assert changed.sampling_rate == 0.5
+        assert changed.radio.name == "CC1100"
+        assert base.radio.name == "CC2420"
+
+    def test_with_packets(self):
+        base = default_scenario()
+        changed = base.with_packets(base.packets.with_payload(96))
+        assert changed.packets.payload_bytes == 96
+
+    def test_describe_contains_key_fields(self):
+        description = default_scenario().describe()
+        assert description["total_nodes"] == 200.0
+        assert description["radio"] == "CC2420"
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Scenario(topology="nope")  # type: ignore[arg-type]
+        with pytest.raises(ConfigurationError):
+            Scenario(sampling_rate=0.0)
+        with pytest.raises(ConfigurationError):
+            Scenario(radio="nope")  # type: ignore[arg-type]
+        with pytest.raises(ConfigurationError):
+            Scenario(packets="nope")  # type: ignore[arg-type]
+
+    def test_scenario_is_immutable(self):
+        scenario = default_scenario()
+        with pytest.raises(Exception):
+            scenario.sampling_rate = 0.5  # type: ignore[misc]

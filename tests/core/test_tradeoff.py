@@ -1,0 +1,90 @@
+"""Tests for the high-level EnergyDelayGame API."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.fairness import is_proportionally_fair
+from repro.core.requirements import ApplicationRequirements
+from repro.core.tradeoff import EnergyDelayGame
+from repro.exceptions import ConfigurationError
+
+GAME_OPTIONS = {"grid_points_per_dimension": 50, "random_starts": 2}
+
+
+@pytest.fixture
+def xmac_game(xmac, requirements) -> EnergyDelayGame:
+    return EnergyDelayGame(xmac, requirements, **GAME_OPTIONS)
+
+
+class TestEnergyDelayGame:
+    def test_solution_contains_all_paper_quantities(self, xmac_game):
+        solution = xmac_game.solve()
+        assert solution.energy_best <= solution.energy_star <= solution.energy_worst
+        assert solution.delay_best <= solution.delay_star <= solution.delay_worst
+        assert solution.is_fully_feasible
+
+    def test_agreement_is_proportionally_fair(self, xmac_game):
+        solution = xmac_game.solve()
+        assert is_proportionally_fair(
+            solution.energy_star,
+            solution.delay_star,
+            solution.energy_best,
+            solution.energy_worst,
+            solution.delay_best,
+            solution.delay_worst,
+            tolerance=0.1,
+        )
+
+    def test_agreement_respects_requirements(self, xmac_game, requirements):
+        solution = xmac_game.solve()
+        assert solution.energy_star <= requirements.energy_budget * 1.001
+        assert solution.delay_star <= requirements.max_delay * 1.001
+
+    def test_sweep_max_delay_moves_agreement_toward_energy_player(self, xmac, requirements):
+        game = EnergyDelayGame(xmac, requirements, **GAME_OPTIONS)
+        solutions = game.sweep_max_delay([0.8, 2.0, 4.0])
+        energies = [s.energy_star for s in solutions]
+        assert energies[0] >= energies[1] >= energies[2]
+
+    def test_sweep_energy_budget_moves_agreement_toward_delay_player(self, xmac, requirements):
+        game = EnergyDelayGame(xmac, requirements, **GAME_OPTIONS)
+        solutions = game.sweep_energy_budget([0.002, 0.01, 0.05])
+        delays = [s.delay_star for s in solutions]
+        assert delays[0] >= delays[1] >= delays[2]
+
+    def test_frontier_is_monotone_tradeoff(self, xmac_game):
+        frontier = xmac_game.frontier(samples_per_dimension=60)
+        assert len(frontier) >= 5
+        energies = [p.energy for p in frontier]
+        delays = [p.delay for p in frontier]
+        assert energies == sorted(energies)
+        assert delays == sorted(delays, reverse=True)
+
+    def test_frontier_respecting_requirements_is_subset(self, xmac, requirements):
+        tight = ApplicationRequirements(
+            energy_budget=0.005, max_delay=1.5, sampling_rate=requirements.sampling_rate
+        )
+        game = EnergyDelayGame(xmac, tight, **GAME_OPTIONS)
+        restricted = game.frontier(samples_per_dimension=60, respect_requirements=True)
+        for point in restricted:
+            assert point.energy <= tight.energy_budget * 1.001
+            assert point.delay <= tight.max_delay * 1.001
+
+    def test_summary_is_flat_and_complete(self, xmac_game):
+        summary = xmac_game.summary()
+        assert summary["protocol"] == "X-MAC"
+        assert "E_star" in summary and "scenario" in summary
+
+    def test_invalid_inputs_rejected(self, xmac, requirements):
+        with pytest.raises(ConfigurationError):
+            EnergyDelayGame("nope", requirements)  # type: ignore[arg-type]
+        with pytest.raises(ConfigurationError):
+            EnergyDelayGame(xmac, "nope")  # type: ignore[arg-type]
+
+    def test_all_protocols_solve_under_loose_requirements(self, all_protocols, requirements):
+        for model in all_protocols.values():
+            solution = EnergyDelayGame(model, requirements, **GAME_OPTIONS).solve()
+            assert solution.is_fully_feasible
+            assert solution.energy_star > 0
+            assert solution.delay_star > 0

@@ -1,0 +1,59 @@
+"""Tests for unit conversion helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import units
+
+
+class TestConversions:
+    def test_time_round_trip(self):
+        assert units.ms_to_s(units.s_to_ms(1.234)) == pytest.approx(1.234)
+        assert units.s_to_ms(2.0) == 2000.0
+
+    def test_bytes_bits_round_trip(self):
+        assert units.bits_to_bytes(units.bytes_to_bits(17)) == 17
+        assert units.bytes_to_bits(10) == 80
+
+    def test_power_conversions(self):
+        assert units.mw_to_w(60.0) == pytest.approx(0.06)
+        assert units.w_to_mw(0.06) == pytest.approx(60.0)
+        assert units.ma_to_w(20.0, voltage=3.0) == pytest.approx(0.06)
+
+    def test_ma_to_w_requires_positive_voltage(self):
+        with pytest.raises(ValueError):
+            units.ma_to_w(10.0, voltage=0.0)
+
+    def test_clamp(self):
+        assert units.clamp(5.0, 0.0, 1.0) == 1.0
+        assert units.clamp(-5.0, 0.0, 1.0) == 0.0
+        assert units.clamp(0.5, 0.0, 1.0) == 0.5
+        with pytest.raises(ValueError):
+            units.clamp(0.5, 1.0, 0.0)
+
+    def test_require_positive(self):
+        assert units.require_positive("x", 2.0) == 2.0
+        with pytest.raises(ValueError):
+            units.require_positive("x", 0.0)
+        with pytest.raises(ValueError):
+            units.require_positive("x", float("nan"))
+
+    def test_require_non_negative(self):
+        assert units.require_non_negative("x", 0.0) == 0.0
+        with pytest.raises(ValueError):
+            units.require_non_negative("x", -1.0)
+
+    def test_require_in_range(self):
+        assert units.require_in_range("x", 0.5, 0.0, 1.0) == 0.5
+        with pytest.raises(ValueError):
+            units.require_in_range("x", 2.0, 0.0, 1.0)
+
+    def test_is_close(self):
+        assert units.is_close(1.0, 1.0 + 1e-12)
+        assert not units.is_close(1.0, 1.1)
+
+    def test_mean(self):
+        assert units.mean([1.0, 2.0, 3.0]) == 2.0
+        with pytest.raises(ValueError):
+            units.mean([])

@@ -1,0 +1,91 @@
+"""Tests for the figure reproduction drivers (reduced grids for speed)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import (
+    FIGURE_DELAY_BOUNDS,
+    FIGURE_ENERGY_BUDGETS,
+    FIGURE_ENERGY_BUDGET_FIXED,
+    FIGURE_MAX_DELAY_FIXED,
+    figure_scenario,
+)
+from repro.experiments.figure1 import figure1_rows, reproduce_figure1
+from repro.experiments.figure2 import figure2_rows, reproduce_figure2
+
+#: Reduced settings so the experiment tests stay fast; the benches run the
+#: full grids.
+FAST = {"grid_points_per_dimension": 30}
+PROTOCOLS = ("xmac", "dmac")
+DELAYS = (1.0, 3.0, 6.0)
+BUDGETS = (0.01, 0.03, 0.06)
+
+
+@pytest.fixture(scope="module")
+def figure1_results():
+    return reproduce_figure1(protocols=PROTOCOLS, delay_bounds=DELAYS, **FAST)
+
+
+@pytest.fixture(scope="module")
+def figure2_results():
+    return reproduce_figure2(protocols=PROTOCOLS, energy_budgets=BUDGETS, **FAST)
+
+
+class TestFigureConfig:
+    def test_paper_grids(self):
+        assert FIGURE_DELAY_BOUNDS == (1.0, 2.0, 3.0, 4.0, 5.0, 6.0)
+        assert FIGURE_ENERGY_BUDGETS == (0.01, 0.02, 0.03, 0.04, 0.05, 0.06)
+        assert FIGURE_ENERGY_BUDGET_FIXED == 0.06
+        assert FIGURE_MAX_DELAY_FIXED == 6.0
+
+    def test_figure_scenario_shape(self):
+        scenario = figure_scenario()
+        assert scenario.depth == 5
+        assert scenario.density == 8
+        assert scenario.sampling_period == 3600.0
+
+
+class TestFigure1:
+    def test_one_sweep_per_protocol(self, figure1_results):
+        assert set(figure1_results) == set(PROTOCOLS)
+        for sweep in figure1_results.values():
+            assert len(sweep.solutions) == len(DELAYS)
+            assert not sweep.infeasible_values
+
+    def test_relaxing_delay_bound_favours_energy_player(self, figure1_results):
+        for sweep in figure1_results.values():
+            stars = [solution.energy_star for solution in sweep.solutions]
+            assert stars[0] >= stars[1] >= stars[2]
+
+    def test_agreed_delay_respects_each_bound(self, figure1_results):
+        for sweep in figure1_results.values():
+            for bound, solution in zip(DELAYS, sweep.solutions):
+                assert solution.delay_star <= bound * 1.001
+
+    def test_rows_are_flat_and_complete(self, figure1_results):
+        rows = figure1_rows(figure1_results)
+        assert len(rows) == len(PROTOCOLS) * len(DELAYS)
+        assert {"E_best", "E_worst", "E_star", "L_star"} <= set(rows[0])
+
+
+class TestFigure2:
+    def test_one_sweep_per_protocol(self, figure2_results):
+        assert set(figure2_results) == set(PROTOCOLS)
+        for sweep in figure2_results.values():
+            assert len(sweep.solutions) == len(BUDGETS)
+
+    def test_raising_budget_favours_delay_player(self, figure2_results):
+        for sweep in figure2_results.values():
+            stars = [solution.delay_star for solution in sweep.solutions]
+            assert stars[0] >= stars[1] >= stars[2]
+
+    def test_agreed_energy_respects_each_budget(self, figure2_results):
+        for sweep in figure2_results.values():
+            for budget, solution in zip(BUDGETS, sweep.solutions):
+                assert solution.energy_star <= budget * 1.001
+
+    def test_rows_are_flat_and_complete(self, figure2_results):
+        rows = figure2_rows(figure2_results)
+        assert len(rows) == len(PROTOCOLS) * len(BUDGETS)
+        assert "energy_budget" in rows[0]

@@ -1,0 +1,65 @@
+"""Unit tests for the frame-size model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.network.packets import PacketModel
+from repro.network.radio import cc2420
+
+
+class TestPacketModel:
+    def test_data_frame_includes_header_and_phy_overhead(self):
+        packets = PacketModel(payload_bytes=32, mac_header_bytes=9, phy_overhead_bytes=6)
+        assert packets.data_frame_bytes == 47
+
+    def test_strobe_and_ack_frames_include_phy_overhead(self):
+        packets = PacketModel()
+        assert packets.strobe_frame_bytes == packets.strobe_bytes + packets.phy_overhead_bytes
+        assert packets.ack_frame_bytes == packets.ack_bytes + packets.phy_overhead_bytes
+
+    def test_airtime_uses_radio_bitrate(self):
+        packets = PacketModel()
+        radio = cc2420()
+        assert packets.data_airtime(radio) == pytest.approx(
+            packets.data_frame_bytes * 8 / radio.bitrate
+        )
+
+    def test_strobe_period_exceeds_strobe_airtime(self):
+        packets = PacketModel()
+        radio = cc2420()
+        assert packets.strobe_period(radio) > packets.strobe_airtime(radio)
+
+    def test_hop_exchange_time_combines_data_and_ack(self):
+        packets = PacketModel()
+        radio = cc2420()
+        expected = packets.data_airtime(radio) + radio.turnaround_time + packets.ack_airtime(radio)
+        assert packets.hop_exchange_time(radio) == pytest.approx(expected)
+
+    def test_with_payload_returns_modified_copy(self):
+        base = PacketModel(payload_bytes=32)
+        bigger = base.with_payload(96)
+        assert bigger.payload_bytes == 96
+        assert base.payload_bytes == 32
+
+    def test_larger_payload_means_longer_airtime(self):
+        radio = cc2420()
+        assert PacketModel(payload_bytes=96).data_airtime(radio) > PacketModel(
+            payload_bytes=16
+        ).data_airtime(radio)
+
+    def test_negative_size_is_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PacketModel(payload_bytes=-1)
+
+    def test_zero_sized_data_frame_is_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PacketModel(payload_bytes=0, mac_header_bytes=0)
+
+    def test_as_dict_round_trip(self):
+        packets = PacketModel(payload_bytes=48)
+        assert packets.as_dict()["payload_bytes"] == 48
+
+    def test_control_airtime_positive(self):
+        assert PacketModel().control_airtime(cc2420()) > 0

@@ -1,0 +1,128 @@
+"""Unit tests for the ring topology and concrete deployments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.network.deployment import chain_deployment, generate_deployment, ring_deployment
+from repro.network.topology import RingTopology, build_gathering_tree, ring_histogram
+
+
+class TestRingTopology:
+    def test_nodes_in_ring_follows_annulus_area(self):
+        topology = RingTopology(depth=5, density=8)
+        assert topology.nodes_in_ring(1) == 8
+        assert topology.nodes_in_ring(2) == 24
+        assert topology.nodes_in_ring(5) == 8 * 9
+
+    def test_total_nodes_is_density_times_depth_squared(self):
+        topology = RingTopology(depth=5, density=8)
+        assert topology.total_nodes() == 8 * 25
+        assert topology.total_nodes() == pytest.approx(
+            sum(topology.nodes_in_ring(d) for d in topology.rings())
+        )
+
+    def test_descendants_decrease_with_ring(self):
+        topology = RingTopology(depth=6, density=4)
+        descendants = [topology.descendants_per_node(d) for d in topology.rings()]
+        assert descendants == sorted(descendants, reverse=True)
+        assert descendants[-1] == 0.0
+
+    def test_ring1_descendants_cover_the_rest_of_the_network(self):
+        topology = RingTopology(depth=5, density=8)
+        # D^2 - 1 descendants split over the (2*1 - 1) = 1 "slots" per node.
+        assert topology.descendants_per_node(1) == pytest.approx(24.0)
+
+    def test_children_per_node_positive_except_last_ring(self):
+        topology = RingTopology(depth=4, density=5)
+        for ring in range(1, 4):
+            assert topology.children_per_node(ring) > 0
+        assert topology.children_per_node(4) == 0.0
+
+    def test_bottleneck_and_delay_critical_rings(self):
+        topology = RingTopology(depth=7, density=3)
+        assert topology.bottleneck_ring == 1
+        assert topology.delay_critical_ring == 7
+
+    def test_invalid_ring_index_rejected(self):
+        topology = RingTopology(depth=3, density=3)
+        with pytest.raises(ConfigurationError):
+            topology.nodes_in_ring(0)
+        with pytest.raises(ConfigurationError):
+            topology.nodes_in_ring(4)
+
+    def test_invalid_construction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RingTopology(depth=0, density=5)
+        with pytest.raises(ConfigurationError):
+            RingTopology(depth=5, density=0)
+
+    def test_describe_contains_totals(self):
+        info = RingTopology(depth=3, density=4).describe()
+        assert info["total_nodes"] == 36
+
+
+class TestDeployments:
+    def test_chain_deployment_depth_and_parents(self):
+        deployment = chain_deployment(depth=5)
+        assert deployment.depth == 5
+        assert deployment.parent_of(3) == 2
+        assert deployment.parent_of(1) == 0
+        assert deployment.path_to_sink(5) == [5, 4, 3, 2, 1, 0]
+
+    def test_chain_subtree_sizes(self):
+        deployment = chain_deployment(depth=4)
+        assert deployment.subtree_size(1) == 4
+        assert deployment.subtree_size(4) == 1
+
+    def test_ring_deployment_matches_analytical_populations(self):
+        deployment = ring_deployment(depth=3, density=5, seed=2)
+        histogram = ring_histogram(deployment)
+        assert histogram == {1: 5, 2: 15, 3: 25}
+        assert deployment.depth == 3
+
+    def test_ring_deployment_every_node_routes_to_sink(self):
+        deployment = ring_deployment(depth=3, density=4, seed=0)
+        for node in deployment.sensor_ids:
+            path = deployment.path_to_sink(node)
+            assert path[-1] == 0
+            assert len(path) - 1 == deployment.ring_of[node]
+
+    def test_ring_deployment_balances_children(self):
+        deployment = ring_deployment(depth=3, density=6, seed=1)
+        ring1 = deployment.nodes_in_ring(1)
+        loads = [deployment.subtree_size(node) for node in ring1]
+        assert max(loads) <= 2 * min(loads)
+
+    def test_generate_deployment_is_connected_and_reproducible(self):
+        first = generate_deployment(depth=3, density=8, seed=7)
+        second = generate_deployment(depth=3, density=8, seed=7)
+        assert first.positions == second.positions
+        assert set(first.sensor_ids) == set(second.sensor_ids)
+
+    def test_generate_deployment_summary_roundtrip(self):
+        deployment = generate_deployment(depth=3, density=8, seed=7)
+        summary = deployment.to_ring_topology()
+        assert summary.depth == deployment.depth
+        assert summary.density >= 1
+
+    def test_build_gathering_tree_rejects_disconnected_graph(self):
+        import networkx as nx
+
+        graph = nx.Graph()
+        graph.add_nodes_from([0, 1, 2])
+        graph.add_edge(0, 1)
+        with pytest.raises(ConfigurationError):
+            build_gathering_tree(graph, sink=0)
+
+    def test_build_gathering_tree_requires_known_sink(self):
+        import networkx as nx
+
+        graph = nx.path_graph(3)
+        with pytest.raises(ConfigurationError):
+            build_gathering_tree(graph, sink=99)
+
+    def test_ring_deployment_invalid_spacing_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ring_deployment(depth=3, density=4, spacing_factor=0.95)

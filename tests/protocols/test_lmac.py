@@ -1,0 +1,97 @@
+"""LMAC specific model tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.network.topology import RingTopology
+from repro.protocols.lmac import LMACModel
+from repro.scenario import Scenario
+
+
+class TestLMACModel:
+    def test_two_tunable_parameters(self, lmac: LMACModel):
+        assert lmac.parameter_space.names == [LMACModel.SLOT_LENGTH, LMACModel.SLOT_COUNT]
+
+    def test_min_slot_count_covers_two_hop_neighbourhood(self, lmac: LMACModel):
+        assert lmac.min_slot_count == 2 * lmac.scenario.density + 1
+
+    def test_slot_count_parameter_is_integer_typed(self, lmac: LMACModel):
+        assert lmac.parameter_space[LMACModel.SLOT_COUNT].integer is True
+
+    def test_frame_length_is_slot_product(self, lmac: LMACModel):
+        params = {"slot_length": 0.02, "slot_count": 15.0}
+        assert lmac.frame_length(params) == pytest.approx(0.3)
+
+    def test_latency_grows_with_frame_length(self, lmac: LMACModel):
+        short = lmac.system_latency({"slot_length": 0.01, "slot_count": 13.0})
+        long = lmac.system_latency({"slot_length": 0.05, "slot_count": 20.0})
+        assert long > short
+
+    def test_hop_latency_is_half_frame_plus_data(self, lmac: LMACModel):
+        params = {"slot_length": 0.02, "slot_count": 15.0}
+        data = lmac.scenario.packets.data_airtime(lmac.scenario.radio)
+        assert lmac.hop_latency(params, 1) == pytest.approx(0.5 * 0.3 + data)
+
+    def test_longer_slots_reduce_idle_energy(self, lmac: LMACModel):
+        count = float(lmac.min_slot_count)
+        short_slots = lmac.system_energy({"slot_length": lmac.min_slot_length, "slot_count": count})
+        long_slots = lmac.system_energy({"slot_length": lmac.max_slot_length, "slot_count": count})
+        assert long_slots < short_slots
+
+    def test_control_listening_dominates_energy_at_low_traffic(self, lmac: LMACModel):
+        breakdown = lmac.energy_breakdown(
+            {"slot_length": lmac.min_slot_length, "slot_count": float(lmac.min_slot_count)},
+            lmac.scenario.depth,
+        )
+        assert breakdown.carrier_sense > breakdown.transmit
+        assert breakdown.overhear == 0.0
+
+    def test_control_tx_charged_every_frame(self, lmac: LMACModel):
+        params = {"slot_length": 0.02, "slot_count": float(lmac.min_slot_count)}
+        assert lmac.energy_breakdown(params, 1).sync_transmit > 0
+
+    def test_energy_roughly_independent_of_slot_count(self, lmac: LMACModel):
+        # The idle cost per second is (N-1)/N * listen / slot, nearly flat in N.
+        few = lmac.system_energy({"slot_length": 0.02, "slot_count": float(lmac.min_slot_count)})
+        many = lmac.system_energy({"slot_length": 0.02, "slot_count": float(lmac.max_slot_count)})
+        assert many == pytest.approx(few, rel=0.1)
+
+    def test_empty_parameter_space_detected(self):
+        scenario = Scenario(topology=RingTopology(depth=3, density=40), sampling_rate=1.0 / 600.0)
+        model = LMACModel(scenario, max_frame=0.3)
+        with pytest.raises(ConfigurationError):
+            _ = model.parameter_space
+
+    def test_invalid_guard_time_rejected(self, small_scenario):
+        with pytest.raises(ConfigurationError):
+            LMACModel(small_scenario, guard_time=-0.001)
+
+    def test_capacity_margin_negative_for_very_long_frames(self):
+        scenario = Scenario(topology=RingTopology(depth=5, density=8), sampling_rate=1.0 / 100.0)
+        model = LMACModel(scenario, max_frame=10.0)
+        params = {"slot_length": model.max_slot_length, "slot_count": float(model.min_slot_count)}
+        assert model.capacity_margin(params) < 0
+
+
+class TestSCPMAC:
+    def test_scpmac_cheaper_transmissions_than_xmac(self, scpmac, xmac):
+        # At the same polling interval, SCP-MAC's tone is much shorter than
+        # X-MAC's expected strobe train, so its transmit energy is lower.
+        params_scp = {"poll_interval": 1.0}
+        params_xmac = {"wakeup_interval": 1.0}
+        assert (
+            scpmac.energy_breakdown(params_scp, 1).transmit
+            < xmac.energy_breakdown(params_xmac, 1).transmit
+        )
+
+    def test_scpmac_pays_sync_overhead(self, scpmac):
+        breakdown = scpmac.energy_breakdown({"poll_interval": 1.0}, 1)
+        assert breakdown.sync_transmit > 0
+        assert breakdown.sync_receive > 0
+
+    def test_scpmac_latency_similar_shape_to_xmac(self, scpmac):
+        fast = scpmac.system_latency({"poll_interval": 0.2})
+        slow = scpmac.system_latency({"poll_interval": 2.0})
+        assert slow > fast

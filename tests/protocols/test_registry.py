@@ -1,0 +1,74 @@
+"""Tests for the protocol registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.protocols import DutyCycledMACModel, XMACModel
+from repro.protocols.registry import (
+    PAPER_PROTOCOL_NAMES,
+    available_protocols,
+    canonical_name,
+    create_protocol,
+    paper_protocols,
+    protocol_class,
+    register_protocol,
+    unregister_protocol,
+)
+
+
+class TestRegistry:
+    def test_available_protocols_contains_the_paper_three(self):
+        names = available_protocols()
+        for name in PAPER_PROTOCOL_NAMES:
+            assert name in names
+
+    def test_canonical_name_handles_aliases_and_case(self):
+        assert canonical_name("X-MAC") == "xmac"
+        assert canonical_name("scp") == "scpmac"
+        assert canonical_name("LMAC") == "lmac"
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ConfigurationError):
+            canonical_name("zigbee-mac")
+
+    def test_create_protocol_binds_scenario(self, small_scenario):
+        model = create_protocol("xmac", small_scenario)
+        assert isinstance(model, XMACModel)
+        assert model.scenario is small_scenario
+
+    def test_create_protocol_forwards_kwargs(self, small_scenario):
+        model = create_protocol("dmac", small_scenario, max_frame=4.0)
+        assert model.parameter_space["frame_length"].upper == pytest.approx(4.0)
+
+    def test_paper_protocols_returns_three_models(self, small_scenario):
+        models = paper_protocols(small_scenario)
+        assert list(models) == list(PAPER_PROTOCOL_NAMES)
+
+    def test_protocol_class_lookup(self):
+        assert protocol_class("xmac") is XMACModel
+
+    def test_register_and_unregister_custom_protocol(self, small_scenario):
+        class ToyMAC(XMACModel):
+            name = "Toy-MAC"
+            family = "toy"
+
+        register_protocol("toymac", ToyMAC)
+        try:
+            assert "toymac" in available_protocols()
+            model = create_protocol("toymac", small_scenario)
+            assert isinstance(model, ToyMAC)
+        finally:
+            unregister_protocol("toymac")
+        assert "toymac" not in available_protocols()
+
+    def test_register_rejects_duplicates_and_non_models(self):
+        with pytest.raises(ConfigurationError):
+            register_protocol("xmac", XMACModel)
+        with pytest.raises(ConfigurationError):
+            register_protocol("notamodel", dict)  # type: ignore[arg-type]
+
+    def test_builtin_protocols_cannot_be_unregistered(self):
+        with pytest.raises(ConfigurationError):
+            unregister_protocol("xmac")
