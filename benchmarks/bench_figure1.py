@@ -13,19 +13,25 @@ and asserts the paper's qualitative observations:
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
-from benchmarks.conftest import print_series
+from benchmarks.conftest import assert_speedup_if_required, print_series
 from repro.experiments.config import FIGURE_DELAY_BOUNDS, FIGURE_ENERGY_BUDGET_FIXED
-from repro.experiments.figure1 import reproduce_figure1
+from repro.experiments.figure1 import figure1_rows, reproduce_figure1
+from repro.runtime import SolveCache, build_runner
 
 
 def _run_protocol(protocol: str, grid: int):
+    # use_cache=False: these benches time the actual solves; the cache-hit
+    # path has its own bench below.
     results = reproduce_figure1(
         protocols=(protocol,),
         delay_bounds=FIGURE_DELAY_BOUNDS,
         energy_budget=FIGURE_ENERGY_BUDGET_FIXED,
         grid_points_per_dimension=grid,
+        use_cache=False,
     )
     return results[protocol]
 
@@ -62,7 +68,7 @@ def test_figure1_saturation_structure(benchmark, figure_grid):
     near the synchronization bound, LMAC keeps improving up to 6 s."""
     results = benchmark.pedantic(
         reproduce_figure1,
-        kwargs={"grid_points_per_dimension": figure_grid},
+        kwargs={"grid_points_per_dimension": figure_grid, "use_cache": False},
         rounds=1,
         iterations=1,
     )
@@ -74,3 +80,71 @@ def test_figure1_saturation_structure(benchmark, figure_grid):
     assert xmac[0] > xmac[2] * 1.05
     # LMAC: every relaxation of the bound keeps improving the energy player.
     assert all(later < earlier for earlier, later in zip(lmac, lmac[1:]))
+
+
+def test_figure1_parallel_speedup(benchmark, figure_grid, bench_workers):
+    """Serial vs process-pool wall clock for the full Figure-1 grid.
+
+    The parallel run is the benchmarked subject; the serial run is timed
+    alongside to report the speedup.  Output equality is asserted exactly —
+    parallelism must be invisible in the results.
+    """
+    kwargs = {"grid_points_per_dimension": figure_grid}
+
+    started = time.perf_counter()
+    serial = reproduce_figure1(runner=build_runner(workers=1, use_cache=False), **kwargs)
+    serial_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    parallel = benchmark.pedantic(
+        reproduce_figure1,
+        kwargs={"runner": build_runner(workers=bench_workers, use_cache=False), **kwargs},
+        rounds=1,
+        iterations=1,
+    )
+    parallel_seconds = time.perf_counter() - started
+
+    speedup = serial_seconds / max(parallel_seconds, 1e-9)
+    print_series(
+        "Figure 1: serial vs parallel runtime",
+        [
+            {"mode": "serial[1]", "seconds": serial_seconds, "speedup": 1.0},
+            {
+                "mode": f"process[{bench_workers}]",
+                "seconds": parallel_seconds,
+                "speedup": speedup,
+            },
+        ],
+    )
+    assert figure1_rows(serial) == figure1_rows(parallel), "parallel output must be bit-identical"
+    assert_speedup_if_required(speedup)
+
+
+def test_figure1_cache_hit_path(benchmark, figure_grid):
+    """A warm solve cache answers the whole figure grid in near-zero time."""
+    cache = SolveCache()
+    kwargs = {"grid_points_per_dimension": figure_grid}
+    cold_runner = build_runner(workers=1, cache=cache)
+
+    started = time.perf_counter()
+    cold = reproduce_figure1(runner=cold_runner, **kwargs)
+    cold_seconds = time.perf_counter() - started
+
+    warm_runner = build_runner(workers=1, cache=cache)
+    started = time.perf_counter()
+    warm = benchmark.pedantic(
+        reproduce_figure1, kwargs={"runner": warm_runner, **kwargs}, rounds=1, iterations=1
+    )
+    warm_seconds = time.perf_counter() - started
+
+    print_series(
+        "Figure 1: cold vs warm solve cache",
+        [
+            {"cache": "cold", "seconds": cold_seconds},
+            {"cache": "warm", "seconds": warm_seconds},
+        ],
+    )
+    stats = warm_runner.cache_stats()
+    assert stats.hits == sum(len(sweep.values) for sweep in warm.values())
+    assert figure1_rows(warm) == figure1_rows(cold)
+    assert warm_seconds < cold_seconds / 10.0, "cache-hit path should be >10x faster"

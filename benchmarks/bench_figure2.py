@@ -16,11 +16,13 @@ from repro.experiments.figure2 import reproduce_figure2
 
 
 def _run_protocol(protocol: str, grid: int):
+    # use_cache=False: these benches time the actual solves.
     results = reproduce_figure2(
         protocols=(protocol,),
         energy_budgets=FIGURE_ENERGY_BUDGETS,
         max_delay=FIGURE_MAX_DELAY_FIXED,
         grid_points_per_dimension=grid,
+        use_cache=False,
     )
     return results[protocol]
 
@@ -56,7 +58,7 @@ def test_figure2_protocol_energy_ordering(benchmark, figure_grid):
     the three protocols (the x-axis ranges of the paper's sub-figures)."""
     results = benchmark.pedantic(
         reproduce_figure2,
-        kwargs={"grid_points_per_dimension": figure_grid},
+        kwargs={"grid_points_per_dimension": figure_grid, "use_cache": False},
         rounds=1,
         iterations=1,
     )

@@ -11,13 +11,33 @@ solver fails the harness instead of silently changing the story.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.analysis.reporting import format_table
 
 #: Solver grid used by the figure benches (coarser than the library default;
 #: the SLSQP polish makes the final optima identical to within tolerance).
-BENCH_GRID = 48
+#: ``REPRO_BENCH_GRID`` overrides it, so CI can run a reduced-size smoke
+#: pass of the same benches.
+BENCH_GRID = int(os.environ.get("REPRO_BENCH_GRID", "48"))
+
+#: Worker processes used by the parallel-speedup benches.
+BENCH_WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "4"))
+
+#: Set ``REPRO_ASSERT_SPEEDUP=1`` to make the speedup benches *fail* below
+#: this ratio (meaningful only on a multi-core runner; plain timing is
+#: always printed).
+SPEEDUP_FLOOR = 1.5
+
+
+def assert_speedup_if_required(speedup: float) -> None:
+    """Enforce the speedup floor when the environment opts in."""
+    if os.environ.get("REPRO_ASSERT_SPEEDUP") == "1":
+        assert speedup > SPEEDUP_FLOOR, (
+            f"parallel speedup {speedup:.2f}x below the {SPEEDUP_FLOOR}x floor"
+        )
 
 
 def print_series(title: str, rows) -> None:
@@ -30,3 +50,9 @@ def print_series(title: str, rows) -> None:
 def figure_grid() -> int:
     """Grid resolution shared by the figure benches."""
     return BENCH_GRID
+
+
+@pytest.fixture(scope="session")
+def bench_workers() -> int:
+    """Worker count shared by the parallel-speedup benches."""
+    return BENCH_WORKERS

@@ -29,6 +29,7 @@ Package layout:
 * :mod:`repro.optimization` — constrained solvers and convexity probes.
 * :mod:`repro.gametheory` — generic bargaining solutions and axiom checks.
 * :mod:`repro.simulation` — packet-level discrete-event simulator.
+* :mod:`repro.runtime` — parallel executor policies, solve cache, batch runner.
 * :mod:`repro.analysis` — sweeps, validation and reporting.
 * :mod:`repro.experiments` — figure-by-figure reproduction drivers.
 """
@@ -50,9 +51,19 @@ from repro.exceptions import (
     SolverError,
     ValidationError,
 )
+from repro.runtime import (
+    BatchRunner,
+    CacheStats,
+    ExecutorPolicy,
+    SolveCache,
+    SolveTask,
+    TaskOutcome,
+    build_runner,
+    resolve_executor,
+)
 from repro.scenario import Scenario, default_scenario
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ApplicationRequirements",
@@ -63,6 +74,14 @@ __all__ = [
     "TradeoffPoint",
     "Scenario",
     "default_scenario",
+    "BatchRunner",
+    "CacheStats",
+    "ExecutorPolicy",
+    "SolveCache",
+    "SolveTask",
+    "TaskOutcome",
+    "build_runner",
+    "resolve_executor",
     "ReproError",
     "ConfigurationError",
     "InfeasibleProblemError",

@@ -10,8 +10,17 @@
   by the examples, the CLI and the benches.
 """
 
-from repro.analysis.sweep import SweepResult, sweep_delay_bound, sweep_energy_budget
-from repro.analysis.validation import ValidationReport, validate_protocol
+from repro.analysis.sweep import (
+    SweepResult,
+    sweep_delay_bound,
+    sweep_energy_budget,
+    sweep_grid,
+)
+from repro.analysis.validation import (
+    ValidationReport,
+    validate_protocol,
+    validate_protocols,
+)
 from repro.analysis.scalability import ScalabilityRecord, scalability_study
 from repro.analysis.reporting import format_table, solutions_to_rows, write_csv
 
@@ -19,8 +28,10 @@ __all__ = [
     "SweepResult",
     "sweep_delay_bound",
     "sweep_energy_budget",
+    "sweep_grid",
     "ValidationReport",
     "validate_protocol",
+    "validate_protocols",
     "ScalabilityRecord",
     "scalability_study",
     "format_table",

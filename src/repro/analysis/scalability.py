@@ -8,18 +8,21 @@ through the (cheap) evaluation of the closed-form traffic expressions, not
 with the node count.  This module measures exactly that: wall-clock solve
 time and solution values as the topology depth/density (hence node count)
 grow.
+
+The solves route through the :mod:`repro.runtime` batch runner; each task's
+solve time is measured inside the worker, so the study can be fanned out
+across processes without distorting the per-solve timings.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
-from typing import Iterable, List, Tuple, Type
+from typing import Iterable, List, Optional, Tuple, Type
 
 from repro.core.requirements import ApplicationRequirements
-from repro.core.tradeoff import EnergyDelayGame
 from repro.network.topology import RingTopology
 from repro.protocols.base import DutyCycledMACModel
+from repro.runtime import BatchRunner, SolveTask
 from repro.scenario import Scenario
 
 
@@ -49,6 +52,7 @@ def scalability_study(
     sizes: Iterable[Tuple[int, int]],
     requirements: ApplicationRequirements,
     sampling_rate: float = 1.0 / 3600.0,
+    runner: Optional[BatchRunner] = None,
     **solver_options: object,
 ) -> List[ScalabilityRecord]:
     """Solve the game across a range of network sizes and time each solve.
@@ -58,27 +62,42 @@ def scalability_study(
         sizes: Iterable of ``(depth, density)`` pairs.
         requirements: Application requirements applied to every size.
         sampling_rate: Application sampling rate used in every scenario.
+        runner: Batch runner the solves are dispatched through.  Defaults to
+            an uncached serial runner — caching would answer repeated sizes
+            in zero time and falsify the timing study.
         solver_options: Extra options forwarded to the game solver.
     """
-    records: List[ScalabilityRecord] = []
+    runner = runner if runner is not None else BatchRunner(cache=None)
+    sizes = [(int(depth), int(density)) for depth, density in sizes]
+    tasks: List[SolveTask] = []
+    scenarios: List[Scenario] = []
     for depth, density in sizes:
         scenario = Scenario(
-            topology=RingTopology(depth=int(depth), density=int(density)),
+            topology=RingTopology(depth=depth, density=density),
             sampling_rate=sampling_rate,
         )
-        model = protocol_class(scenario)
-        game = EnergyDelayGame(model, requirements, **solver_options)
-        started = time.perf_counter()
-        solution = game.solve()
-        elapsed = time.perf_counter() - started
+        scenarios.append(scenario)
+        tasks.append(
+            SolveTask(
+                model=protocol_class(scenario),
+                requirements=requirements,
+                solver_options=dict(solver_options),
+                label=protocol_class.name,
+                tag=(depth, density),
+            )
+        )
+    records: List[ScalabilityRecord] = []
+    for (depth, density), scenario, outcome in zip(sizes, scenarios, runner.run(tasks)):
+        if not outcome.ok:
+            raise outcome.error
         records.append(
             ScalabilityRecord(
-                depth=int(depth),
-                density=int(density),
+                depth=depth,
+                density=density,
                 node_count=scenario.topology.total_nodes(),
-                solve_seconds=elapsed,
-                energy_star=solution.energy_star,
-                delay_star=solution.delay_star,
+                solve_seconds=outcome.solve_seconds,
+                energy_star=outcome.solution.energy_star,
+                delay_star=outcome.solution.delay_star,
             )
         )
     return records

@@ -5,6 +5,11 @@ fixes the energy budget and varies the delay bound, Figure 2 fixes the delay
 bound and varies the energy budget.  These helpers run such sweeps for one or
 several protocols and return structured results the reporting layer and the
 benches can print.
+
+All sweeps route through the :mod:`repro.runtime` batch runner: solves are
+memoized in the solve cache and can be fanned out across worker processes
+(``runner=build_runner(workers=4)``) with output bit-identical to a serial
+run.
 """
 
 from __future__ import annotations
@@ -14,9 +19,12 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
 from repro.core.requirements import ApplicationRequirements
 from repro.core.results import GameSolution
-from repro.core.tradeoff import EnergyDelayGame
-from repro.exceptions import ConfigurationError, InfeasibleProblemError
+from repro.exceptions import ConfigurationError
 from repro.protocols.base import DutyCycledMACModel
+from repro.runtime import BatchRunner, SolveTask, default_runner
+
+#: The requirement attributes a sweep may vary.
+SWEEPABLE_PARAMETERS = ("max_delay", "energy_budget")
 
 
 @dataclass
@@ -30,7 +38,11 @@ class SweepResult:
         solutions: One game solution per feasible value (same order as
             ``values`` minus the infeasible ones).
         infeasible_values: Requirement values for which the game had no
-            feasible point.
+            feasible point (one entry per infeasible sweep position, so a
+            value swept twice can appear twice).
+        feasibility: Per-index feasibility flags, parallel to ``values``.
+        cache_hits: Solves answered by the solve cache.
+        cache_misses: Solves actually computed.
     """
 
     protocol: str
@@ -38,11 +50,28 @@ class SweepResult:
     values: List[float] = field(default_factory=list)
     solutions: List[GameSolution] = field(default_factory=list)
     infeasible_values: List[float] = field(default_factory=list)
+    feasibility: List[bool] = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     @property
     def feasible_values(self) -> List[float]:
-        """The swept values that produced a solution."""
-        return [value for value in self.values if value not in self.infeasible_values]
+        """The swept values that produced a solution, in sweep order."""
+        if len(self.feasibility) == len(self.values):
+            return [value for value, ok in zip(self.values, self.feasibility) if ok]
+        # Legacy construction without per-index flags: drop each infeasible
+        # value only as many times as it was recorded infeasible, so a value
+        # swept twice with one feasible occurrence is not dropped twice.
+        remaining: Dict[float, int] = {}
+        for value in self.infeasible_values:
+            remaining[value] = remaining.get(value, 0) + 1
+        feasible: List[float] = []
+        for value in self.values:
+            if remaining.get(value, 0) > 0:
+                remaining[value] -= 1
+                continue
+            feasible.append(value)
+        return feasible
 
     def series(self) -> List[Dict[str, float]]:
         """One flat row per feasible sweep value (for tables and CSV)."""
@@ -64,27 +93,118 @@ class SweepResult:
         return rows
 
 
+def _requirements_for(
+    base: ApplicationRequirements, parameter: str, value: float
+) -> ApplicationRequirements:
+    if parameter == "max_delay":
+        return base.with_max_delay(float(value))
+    return base.with_energy_budget(float(value))
+
+
+def _build_tasks(
+    model: DutyCycledMACModel,
+    base_requirements: ApplicationRequirements,
+    parameter: str,
+    values: Sequence[float],
+    solver_options: Mapping[str, object],
+) -> List[SolveTask]:
+    return [
+        SolveTask(
+            model=model,
+            requirements=_requirements_for(base_requirements, parameter, value),
+            solver_options=dict(solver_options),
+            label=model.name,
+            tag=float(value),
+        )
+        for value in values
+    ]
+
+
+def _collect_sweep(
+    model: DutyCycledMACModel,
+    parameter: str,
+    values: Sequence[float],
+    outcomes: Sequence,
+) -> SweepResult:
+    """Fold a sweep's task outcomes (in sweep order) into a SweepResult."""
+    result = SweepResult(
+        protocol=model.name, swept_parameter=parameter, values=[float(v) for v in values]
+    )
+    for outcome in outcomes:
+        if outcome.ok:
+            result.solutions.append(outcome.solution)
+            result.feasibility.append(True)
+            if outcome.from_cache:
+                result.cache_hits += 1
+            else:
+                result.cache_misses += 1
+        elif outcome.infeasible:
+            result.infeasible_values.append(float(outcome.tag))
+            result.feasibility.append(False)
+            result.cache_misses += 1
+        else:
+            # Only infeasibility is data; anything else is a real failure.
+            raise outcome.error
+    return result
+
+
 def _run_sweep(
     model: DutyCycledMACModel,
     base_requirements: ApplicationRequirements,
     parameter: str,
     values: Sequence[float],
     solver_options: Mapping[str, object],
+    runner: Optional[BatchRunner] = None,
 ) -> SweepResult:
-    if parameter not in ("max_delay", "energy_budget"):
+    if parameter not in SWEEPABLE_PARAMETERS:
         raise ConfigurationError(f"unknown swept parameter {parameter!r}")
-    result = SweepResult(protocol=model.name, swept_parameter=parameter, values=list(values))
-    for value in values:
-        if parameter == "max_delay":
-            requirements = base_requirements.with_max_delay(float(value))
-        else:
-            requirements = base_requirements.with_energy_budget(float(value))
-        game = EnergyDelayGame(model, requirements, **dict(solver_options))
-        try:
-            result.solutions.append(game.solve())
-        except InfeasibleProblemError:
-            result.infeasible_values.append(float(value))
-    return result
+    runner = runner if runner is not None else default_runner()
+    tasks = _build_tasks(model, base_requirements, parameter, values, solver_options)
+    outcomes = runner.run(tasks)
+    return _collect_sweep(model, parameter, values, outcomes)
+
+
+def sweep_grid(
+    models: Mapping[str, DutyCycledMACModel],
+    parameter: str,
+    values: Iterable[float],
+    base_requirements: Mapping[str, ApplicationRequirements],
+    runner: Optional[BatchRunner] = None,
+    **solver_options: object,
+) -> Dict[str, SweepResult]:
+    """Sweep one requirement over several protocols as a single task grid.
+
+    The full (protocol × value) grid is submitted to the runner as one
+    batch, so a parallel executor can balance all solves across its workers
+    instead of parallelizing one protocol at a time.
+
+    Args:
+        models: Protocol models keyed by the name the result should carry.
+        parameter: ``"max_delay"`` or ``"energy_budget"``.
+        values: The swept requirement values (shared by every protocol).
+        base_requirements: Per-protocol base requirements (same keys as
+            ``models``); the swept attribute is substituted per value.
+        runner: Batch runner; defaults to the serial cached runner.
+        solver_options: Extra options forwarded to the game solver.
+    """
+    if parameter not in SWEEPABLE_PARAMETERS:
+        raise ConfigurationError(f"unknown swept parameter {parameter!r}")
+    missing = [name for name in models if name not in base_requirements]
+    if missing:
+        raise ConfigurationError(
+            f"base_requirements missing for protocols: {', '.join(sorted(missing))}"
+        )
+    runner = runner if runner is not None else default_runner()
+    values = [float(value) for value in values]
+    tasks: List[SolveTask] = []
+    for name, model in models.items():
+        tasks.extend(_build_tasks(model, base_requirements[name], parameter, values, solver_options))
+    outcomes = runner.run(tasks)
+    results: Dict[str, SweepResult] = {}
+    for position, (name, model) in enumerate(models.items()):
+        slice_ = outcomes[position * len(values) : (position + 1) * len(values)]
+        results[name] = _collect_sweep(model, parameter, values, slice_)
+    return results
 
 
 def sweep_delay_bound(
@@ -92,6 +212,7 @@ def sweep_delay_bound(
     energy_budget: float,
     delay_bounds: Iterable[float],
     sampling_rate: Optional[float] = None,
+    runner: Optional[BatchRunner] = None,
     **solver_options: object,
 ) -> SweepResult:
     """Figure-1-style sweep: fix ``Ebudget`` and vary ``Lmax``."""
@@ -100,7 +221,7 @@ def sweep_delay_bound(
         max_delay=max(delay_bounds := list(delay_bounds)),
         sampling_rate=sampling_rate or model.scenario.sampling_rate,
     )
-    return _run_sweep(model, requirements, "max_delay", delay_bounds, solver_options)
+    return _run_sweep(model, requirements, "max_delay", delay_bounds, solver_options, runner)
 
 
 def sweep_energy_budget(
@@ -108,6 +229,7 @@ def sweep_energy_budget(
     max_delay: float,
     energy_budgets: Iterable[float],
     sampling_rate: Optional[float] = None,
+    runner: Optional[BatchRunner] = None,
     **solver_options: object,
 ) -> SweepResult:
     """Figure-2-style sweep: fix ``Lmax`` and vary ``Ebudget``."""
@@ -116,4 +238,4 @@ def sweep_energy_budget(
         max_delay=max_delay,
         sampling_rate=sampling_rate or model.scenario.sampling_rate,
     )
-    return _run_sweep(model, requirements, "energy_budget", energy_budgets, solver_options)
+    return _run_sweep(model, requirements, "energy_budget", energy_budgets, solver_options, runner)

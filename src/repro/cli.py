@@ -21,11 +21,13 @@ from repro.analysis.sweep import sweep_delay_bound, sweep_energy_budget
 from repro.analysis.validation import validate_protocol
 from repro.core.requirements import ApplicationRequirements
 from repro.core.tradeoff import EnergyDelayGame
+from repro.exceptions import ReproError
 from repro.experiments.figure1 import figure1_rows, reproduce_figure1
 from repro.experiments.figure2 import figure2_rows, reproduce_figure2
 from repro.network.radio import radio_by_name
 from repro.network.topology import RingTopology
 from repro.protocols.registry import available_protocols, create_protocol
+from repro.runtime import BatchRunner, build_runner
 from repro.scenario import Scenario
 from repro.simulation.runner import SimulationConfig
 
@@ -36,6 +38,18 @@ def _build_scenario(args: argparse.Namespace) -> Scenario:
         sampling_rate=1.0 / args.sampling_period,
         radio=radio_by_name(args.radio),
     )
+
+
+def _build_runner(args: argparse.Namespace) -> BatchRunner:
+    return build_runner(workers=args.workers, use_cache=not args.no_cache)
+
+
+def _print_runtime_summary(runner: BatchRunner) -> None:
+    stats = runner.cache_stats()
+    line = f"# runtime: {runner.describe()}"
+    if runner.cache is not None:
+        line += f" — cache: {stats.hits} hits / {stats.misses} misses"
+    print(line)
 
 
 def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
@@ -53,6 +67,20 @@ def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
         type=int,
         default=60,
         help="grid resolution per parameter dimension for the hybrid solver",
+    )
+
+
+def _add_runtime_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the solves (1 = serial, 0 = one per CPU)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the solve cache (every solve is recomputed)",
     )
 
 
@@ -90,12 +118,14 @@ def _cmd_solve(args: argparse.Namespace) -> int:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     scenario = _build_scenario(args)
     model = create_protocol(args.protocol, scenario)
+    runner = _build_runner(args)
     values = [float(v) for v in args.values]
     if args.vary == "max-delay":
         result = sweep_delay_bound(
             model,
             energy_budget=args.energy_budget,
             delay_bounds=values,
+            runner=runner,
             grid_points_per_dimension=args.grid_points,
         )
     else:
@@ -103,6 +133,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             model,
             max_delay=args.max_delay,
             energy_budgets=values,
+            runner=runner,
             grid_points_per_dimension=args.grid_points,
         )
     rows = result.series()
@@ -112,20 +143,23 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(f"# wrote {path}")
     if result.infeasible_values:
         print(f"# infeasible values: {result.infeasible_values}")
+    _print_runtime_summary(runner)
     return 0
 
 
 def _cmd_figure(args: argparse.Namespace, which: int) -> int:
+    runner = _build_runner(args)
     if which == 1:
-        results = reproduce_figure1(grid_points_per_dimension=args.grid_points)
+        results = reproduce_figure1(grid_points_per_dimension=args.grid_points, runner=runner)
         rows = figure1_rows(results)
     else:
-        results = reproduce_figure2(grid_points_per_dimension=args.grid_points)
+        results = reproduce_figure2(grid_points_per_dimension=args.grid_points, runner=runner)
         rows = figure2_rows(results)
     print(format_table(rows))
     if args.csv:
         path = write_csv(rows, args.csv)
         print(f"# wrote {path}")
+    _print_runtime_summary(runner)
     return 0
 
 
@@ -170,16 +204,19 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("--max-delay", type=float, default=6.0)
     sweep_parser.add_argument("--csv", default=None, help="optional CSV output path")
     _add_scenario_arguments(sweep_parser)
+    _add_runtime_arguments(sweep_parser)
     sweep_parser.set_defaults(handler=_cmd_sweep)
 
     figure1_parser = subparsers.add_parser("figure1", help="regenerate the paper's Figure 1")
     figure1_parser.add_argument("--csv", default=None)
     _add_scenario_arguments(figure1_parser)
+    _add_runtime_arguments(figure1_parser)
     figure1_parser.set_defaults(handler=lambda args: _cmd_figure(args, 1))
 
     figure2_parser = subparsers.add_parser("figure2", help="regenerate the paper's Figure 2")
     figure2_parser.add_argument("--csv", default=None)
     _add_scenario_arguments(figure2_parser)
+    _add_runtime_arguments(figure2_parser)
     figure2_parser.set_defaults(handler=lambda args: _cmd_figure(args, 2))
 
     validate_parser = subparsers.add_parser(
@@ -198,7 +235,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(list(argv) if argv is not None else None)
-    return int(args.handler(args))
+    try:
+        return int(args.handler(args))
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -15,7 +15,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence
 
-from repro.analysis.sweep import SweepResult, sweep_delay_bound
+from repro.analysis.sweep import SweepResult, sweep_grid
+from repro.core.requirements import ApplicationRequirements
 from repro.experiments.config import (
     FIGURE_DELAY_BOUNDS,
     FIGURE_ENERGY_BUDGET_FIXED,
@@ -23,6 +24,7 @@ from repro.experiments.config import (
     figure_scenario,
 )
 from repro.protocols.registry import PAPER_PROTOCOL_NAMES, create_protocol
+from repro.runtime import BatchRunner, build_runner
 from repro.scenario import Scenario
 
 
@@ -32,24 +34,47 @@ def reproduce_figure1(
     energy_budget: float = FIGURE_ENERGY_BUDGET_FIXED,
     scenario: Optional[Scenario] = None,
     grid_points_per_dimension: int = FIGURE_GRID_POINTS,
+    workers: Optional[int] = None,
+    use_cache: bool = True,
+    runner: Optional[BatchRunner] = None,
 ) -> Dict[str, SweepResult]:
     """Regenerate Figure 1: one delay-bound sweep per protocol.
+
+    The full (protocol × delay bound) grid is solved as one batch, so
+    ``workers > 1`` spreads all sub-figures across a process pool; the
+    output stays bit-identical to a serial run.
+
+    Args:
+        workers: Worker processes for the solves (``1`` = serial, the
+            default; ``None`` with an explicit ``runner`` defers to it).
+        use_cache: Whether to memoize solves in the process-wide cache.
+        runner: Fully custom batch runner; overrides ``workers``/``use_cache``.
 
     Returns:
         Mapping from protocol name (``"xmac"``, ``"dmac"``, ``"lmac"``) to
         the corresponding :class:`~repro.analysis.sweep.SweepResult`.
     """
     scenario = scenario or figure_scenario()
-    results: Dict[str, SweepResult] = {}
-    for name in protocols:
-        model = create_protocol(name, scenario)
-        results[name] = sweep_delay_bound(
-            model,
+    if runner is None:
+        runner = build_runner(workers=workers if workers is not None else 1, use_cache=use_cache)
+    delay_bounds = list(delay_bounds)
+    models = {name: create_protocol(name, scenario) for name in protocols}
+    base_requirements = {
+        name: ApplicationRequirements(
             energy_budget=energy_budget,
-            delay_bounds=list(delay_bounds),
-            grid_points_per_dimension=grid_points_per_dimension,
+            max_delay=max(delay_bounds),
+            sampling_rate=model.scenario.sampling_rate,
         )
-    return results
+        for name, model in models.items()
+    }
+    return sweep_grid(
+        models,
+        "max_delay",
+        delay_bounds,
+        base_requirements,
+        runner=runner,
+        grid_points_per_dimension=grid_points_per_dimension,
+    )
 
 
 def figure1_rows(results: Dict[str, SweepResult]) -> List[Dict[str, object]]:

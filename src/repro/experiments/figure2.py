@@ -13,7 +13,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence
 
-from repro.analysis.sweep import SweepResult, sweep_energy_budget
+from repro.analysis.sweep import SweepResult, sweep_grid
+from repro.core.requirements import ApplicationRequirements
 from repro.experiments.config import (
     FIGURE_ENERGY_BUDGETS,
     FIGURE_GRID_POINTS,
@@ -21,6 +22,7 @@ from repro.experiments.config import (
     figure_scenario,
 )
 from repro.protocols.registry import PAPER_PROTOCOL_NAMES, create_protocol
+from repro.runtime import BatchRunner, build_runner
 from repro.scenario import Scenario
 
 
@@ -30,24 +32,47 @@ def reproduce_figure2(
     max_delay: float = FIGURE_MAX_DELAY_FIXED,
     scenario: Optional[Scenario] = None,
     grid_points_per_dimension: int = FIGURE_GRID_POINTS,
+    workers: Optional[int] = None,
+    use_cache: bool = True,
+    runner: Optional[BatchRunner] = None,
 ) -> Dict[str, SweepResult]:
     """Regenerate Figure 2: one energy-budget sweep per protocol.
+
+    The full (protocol × energy budget) grid is solved as one batch, so
+    ``workers > 1`` spreads all sub-figures across a process pool; the
+    output stays bit-identical to a serial run.
+
+    Args:
+        workers: Worker processes for the solves (``1`` = serial, the
+            default; ``None`` with an explicit ``runner`` defers to it).
+        use_cache: Whether to memoize solves in the process-wide cache.
+        runner: Fully custom batch runner; overrides ``workers``/``use_cache``.
 
     Returns:
         Mapping from protocol name (``"xmac"``, ``"dmac"``, ``"lmac"``) to
         the corresponding :class:`~repro.analysis.sweep.SweepResult`.
     """
     scenario = scenario or figure_scenario()
-    results: Dict[str, SweepResult] = {}
-    for name in protocols:
-        model = create_protocol(name, scenario)
-        results[name] = sweep_energy_budget(
-            model,
+    if runner is None:
+        runner = build_runner(workers=workers if workers is not None else 1, use_cache=use_cache)
+    energy_budgets = list(energy_budgets)
+    models = {name: create_protocol(name, scenario) for name in protocols}
+    base_requirements = {
+        name: ApplicationRequirements(
+            energy_budget=max(energy_budgets),
             max_delay=max_delay,
-            energy_budgets=list(energy_budgets),
-            grid_points_per_dimension=grid_points_per_dimension,
+            sampling_rate=model.scenario.sampling_rate,
         )
-    return results
+        for name, model in models.items()
+    }
+    return sweep_grid(
+        models,
+        "energy_budget",
+        energy_budgets,
+        base_requirements,
+        runner=runner,
+        grid_points_per_dimension=grid_points_per_dimension,
+    )
 
 
 def figure2_rows(results: Dict[str, SweepResult]) -> List[Dict[str, object]]:

@@ -43,19 +43,36 @@ def nash_bargaining_solution(game: BargainingGame, tolerance: float = 1e-12) -> 
     rational = game.individually_rational_indices(tolerance)
 
     # Among individually rational alternatives pick the largest product; break
-    # ties by the largest minimum gain (a deterministic, symmetric rule).
+    # ties by the largest minimum gain, then by the largest total gain (both
+    # deterministic, symmetric rules).  The total-gain tie-break matters when
+    # every product ties at zero (one player cannot gain at all): without it
+    # the argmax could land on a Pareto-dominated point such as (0, 0) when
+    # (0, 1) is available.
     best_index = -1
     best_product = -np.inf
     best_min_gain = -np.inf
+    best_total_gain = -np.inf
     for index in rational:
         product = float(products[index])
         min_gain = float(np.min(gains[index]))
-        if product > best_product + tolerance or (
-            abs(product - best_product) <= tolerance and min_gain > best_min_gain
+        total_gain = float(np.sum(gains[index]))
+        if product > best_product + tolerance:
+            better = True
+        elif abs(product - best_product) <= tolerance and min_gain > best_min_gain:
+            better = True
+        elif (
+            abs(product - best_product) <= tolerance
+            and min_gain == best_min_gain
+            and total_gain > best_total_gain
         ):
+            better = True
+        else:
+            better = False
+        if better:
             best_index = int(index)
             best_product = product
             best_min_gain = min_gain
+            best_total_gain = total_gain
     if best_index < 0:
         raise BargainingError("failed to select a Nash bargaining outcome")
     payoff = game.payoffs[best_index]

@@ -1,0 +1,232 @@
+"""Memoization of game solutions.
+
+A requirement sweep re-solves the same :class:`~repro.core.tradeoff.EnergyDelayGame`
+for many nearby configurations, and higher layers (figure drivers, grid
+searches, the CLI) routinely repeat solves with identical inputs.  The game
+is deterministic — same protocol model, requirements and solver options give
+bit-identical solutions — so those repeats are pure waste.
+
+:class:`SolveCache` memoizes solutions keyed by the full solve identity:
+protocol model fingerprint (class, scenario and tuning parameters),
+application requirements, and solver options.  Hit/miss statistics are kept
+so reports can surface how much work the cache saved.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.core.requirements import ApplicationRequirements
+from repro.core.results import GameSolution
+from repro.protocols.base import DutyCycledMACModel
+
+#: A fully resolved, hashable cache key.
+CacheKey = Tuple[Any, ...]
+
+
+def freeze(value: Any) -> Any:
+    """Convert a value into a deterministic, hashable representation.
+
+    Handles the types that appear in solve identities: scalars, strings,
+    mappings (order-insensitive), sequences, numpy arrays, dataclasses, and
+    plain objects (via their ``__dict__``).
+    """
+    if value is None or isinstance(value, (bool, int, float, str, bytes)):
+        return value
+    if isinstance(value, np.ndarray):
+        return ("ndarray", value.shape, value.dtype.str, value.tobytes())
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, Mapping):
+        return ("map", tuple(sorted((str(k), freeze(v)) for k, v in value.items())))
+    if isinstance(value, (list, tuple)):
+        return ("seq", tuple(freeze(item) for item in value))
+    if isinstance(value, (set, frozenset)):
+        return ("set", tuple(sorted(repr(freeze(item)) for item in value)))
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = {f.name: getattr(value, f.name) for f in dataclasses.fields(value)}
+        return ("dataclass", type(value).__qualname__, freeze(fields))
+    if hasattr(value, "__dict__"):
+        return ("object", type(value).__qualname__, freeze(vars(value)))
+    return ("repr", repr(value))
+
+
+def _lazy_attribute_names(cls: type) -> frozenset:
+    """Instance attributes that are ``functools.cached_property`` memos.
+
+    The protocol models memoize derived quantities lazily; those memo slots
+    appear in ``vars(model)`` only after first use and are functions of the
+    defining state, so they must not participate in the identity (a solved
+    model must fingerprint identically to a fresh one).
+    """
+    names = set()
+    for klass in type.mro(cls):
+        for name, attribute in vars(klass).items():
+            if isinstance(attribute, functools.cached_property):
+                names.add(name)
+    return frozenset(names)
+
+
+def model_fingerprint(model: DutyCycledMACModel) -> Any:
+    """Deterministic identity of a protocol model instance.
+
+    Two model instances of the same class, bound to equal scenarios with
+    equal tuning parameters, produce the same fingerprint — which is exactly
+    the condition under which their solves are interchangeable.
+    """
+    lazy = _lazy_attribute_names(type(model))
+    state = {name: value for name, value in vars(model).items() if name not in lazy}
+    return (
+        f"{type(model).__module__}.{type(model).__qualname__}",
+        model.name,
+        freeze(state),
+    )
+
+
+def solve_key(
+    model: DutyCycledMACModel,
+    requirements: ApplicationRequirements,
+    solver_options: Mapping[str, object],
+) -> CacheKey:
+    """The full identity of one game solve (the cache key)."""
+    return (
+        "solve",
+        model_fingerprint(model),
+        freeze(requirements),
+        freeze(dict(solver_options)),
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class CacheStats:
+    """Hit/miss counters of a :class:`SolveCache`.
+
+    Attributes:
+        hits: Number of lookups answered from the cache.
+        misses: Number of lookups that required a fresh solve.
+        entries: Number of solutions currently stored.
+        evictions: Number of entries dropped by the LRU bound.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    entries: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total number of lookups."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from the cache (0 when unused)."""
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flat summary used by reports."""
+        return {
+            "cache_hits": self.hits,
+            "cache_misses": self.misses,
+            "cache_entries": self.entries,
+            "cache_evictions": self.evictions,
+            "cache_hit_rate": self.hit_rate,
+        }
+
+
+class SolveCache:
+    """Thread-safe LRU memo of :class:`~repro.core.results.GameSolution`.
+
+    Args:
+        max_entries: Optional LRU bound; ``None`` means unbounded.  Sweeps
+            are small (tens of solves) but long-lived services may want a
+            cap.
+    """
+
+    def __init__(self, max_entries: Optional[int] = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1 or None, got {max_entries}")
+        self._max_entries = max_entries
+        self._entries: "OrderedDict[CacheKey, GameSolution]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    # ------------------------------------------------------------------ #
+    # Key construction (static so callers can pre-compute keys)
+    # ------------------------------------------------------------------ #
+
+    key = staticmethod(solve_key)
+
+    # ------------------------------------------------------------------ #
+    # Lookup / store
+    # ------------------------------------------------------------------ #
+
+    def get(self, key: CacheKey) -> Optional[GameSolution]:
+        """Return the memoized solution for ``key``, counting hit or miss."""
+        with self._lock:
+            solution = self._entries.get(key)
+            if solution is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return solution
+
+    def put(self, key: CacheKey, solution: GameSolution) -> None:
+        """Store a solution under ``key``, evicting LRU entries if bounded."""
+        with self._lock:
+            self._entries[key] = solution
+            self._entries.move_to_end(key)
+            if self._max_entries is not None:
+                while len(self._entries) > self._max_entries:
+                    self._entries.popitem(last=False)
+                    self._evictions += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    # ------------------------------------------------------------------ #
+    # Stats / maintenance
+    # ------------------------------------------------------------------ #
+
+    def stats(self) -> CacheStats:
+        """Snapshot of the hit/miss counters."""
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                entries=len(self._entries),
+                evictions=self._evictions,
+            )
+
+    def clear(self) -> None:
+        """Drop all entries and reset the counters."""
+        with self._lock:
+            self._entries.clear()
+            self._hits = 0
+            self._misses = 0
+            self._evictions = 0
+
+
+#: Process-wide cache shared by the default runners (CLI, experiments).
+_DEFAULT_CACHE = SolveCache()
+
+
+def default_cache() -> SolveCache:
+    """The process-wide solve cache used when no explicit cache is given."""
+    return _DEFAULT_CACHE

@@ -1,0 +1,194 @@
+"""Executor policies: where and how batched work runs.
+
+The sweeps behind the paper's figures are embarrassingly parallel — one
+independent game solve per (protocol, requirement value) pair — but the
+results must stay reproducible: the output of a parallel run has to be
+bit-identical to a serial run.  The policies here guarantee that by keying
+every submitted item with its submission index and reassembling results in
+submission order, no matter in which order the workers finish.
+
+Three policies are provided:
+
+* :class:`SerialExecutor` — run in the calling thread (the default, and the
+  reference semantics every other policy must reproduce);
+* :class:`ThreadExecutor` — a thread pool, useful for workloads dominated by
+  the GIL-releasing numpy/scipy kernels;
+* :class:`ProcessExecutor` — a process pool for CPU-bound Python work (the
+  game solves), forked so workers share the parent's imports.
+"""
+
+from __future__ import annotations
+
+import abc
+import multiprocessing
+import os
+import sys
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, ThreadPoolExecutor, wait
+from typing import Any, Callable, Iterable, List, Optional
+
+from repro.exceptions import ConfigurationError
+
+#: Callback invoked as each item completes: ``on_result(index, result)``.
+#: Completion order is arbitrary under parallel policies; the *returned*
+#: list is always in submission order.
+ResultCallback = Callable[[int, Any], None]
+
+
+def _effective_workers(workers: Optional[int]) -> int:
+    if workers is None or workers <= 0:
+        return os.cpu_count() or 1
+    return int(workers)
+
+
+class ExecutorPolicy(abc.ABC):
+    """How a batch of independent tasks is executed.
+
+    Concrete policies differ only in *where* the function runs; all of them
+    return results in submission order so callers cannot observe (and
+    therefore cannot depend on) scheduling order.
+    """
+
+    #: Policy identifier used in reports (``"serial"``, ``"thread"``, ...).
+    name: str = "abstract"
+
+    @property
+    @abc.abstractmethod
+    def workers(self) -> int:
+        """Number of concurrent workers the policy uses."""
+
+    @abc.abstractmethod
+    def map_ordered(
+        self,
+        fn: Callable[[Any], Any],
+        items: Iterable[Any],
+        on_result: Optional[ResultCallback] = None,
+    ) -> List[Any]:
+        """Apply ``fn`` to every item and return results in submission order.
+
+        Exceptions raised by ``fn`` propagate to the caller (per-task error
+        *capture* is the :class:`~repro.runtime.batch.BatchRunner`'s job, not
+        the executor's).
+        """
+
+    def describe(self) -> str:
+        """Short human-readable label, e.g. ``"process[4]"``."""
+        return f"{self.name}[{self.workers}]"
+
+
+class SerialExecutor(ExecutorPolicy):
+    """Run every item inline in the calling thread (reference semantics)."""
+
+    name = "serial"
+
+    @property
+    def workers(self) -> int:
+        return 1
+
+    def map_ordered(
+        self,
+        fn: Callable[[Any], Any],
+        items: Iterable[Any],
+        on_result: Optional[ResultCallback] = None,
+    ) -> List[Any]:
+        results: List[Any] = []
+        for index, item in enumerate(items):
+            result = fn(item)
+            results.append(result)
+            if on_result is not None:
+                on_result(index, result)
+        return results
+
+
+class _PoolExecutor(ExecutorPolicy):
+    """Shared submit/reassemble logic of the thread and process policies."""
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        self._workers = _effective_workers(workers)
+
+    @property
+    def workers(self) -> int:
+        return self._workers
+
+    @abc.abstractmethod
+    def _make_pool(self, max_workers: int):
+        """Create the underlying ``concurrent.futures`` pool."""
+
+    def map_ordered(
+        self,
+        fn: Callable[[Any], Any],
+        items: Iterable[Any],
+        on_result: Optional[ResultCallback] = None,
+    ) -> List[Any]:
+        items = list(items)
+        if not items:
+            return []
+        results: List[Any] = [None] * len(items)
+        max_workers = min(self._workers, len(items))
+        with self._make_pool(max_workers) as pool:
+            pending = {pool.submit(fn, item): index for index, item in enumerate(items)}
+            while pending:
+                done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    index = pending.pop(future)
+                    results[index] = future.result()
+                    if on_result is not None:
+                        on_result(index, results[index])
+        return results
+
+
+class ThreadExecutor(_PoolExecutor):
+    """Thread-pool policy (no pickling; shares memory with the caller)."""
+
+    name = "thread"
+
+    def _make_pool(self, max_workers: int):
+        return ThreadPoolExecutor(max_workers=max_workers)
+
+
+class ProcessExecutor(_PoolExecutor):
+    """Process-pool policy for CPU-bound Python work.
+
+    On Linux the pool uses the ``fork`` start method so workers inherit the
+    parent's imports (numpy/scipy warm-up is paid once) and the submitted
+    callables only need to be picklable by reference.  Elsewhere the
+    platform default is kept: forking is unsafe on macOS (Objective-C
+    runtime aborts post-fork) and unavailable on Windows.
+    """
+
+    name = "process"
+
+    def _make_pool(self, max_workers: int):
+        context = None
+        if sys.platform == "linux" and "fork" in multiprocessing.get_all_start_methods():
+            context = multiprocessing.get_context("fork")
+        return ProcessPoolExecutor(max_workers=max_workers, mp_context=context)
+
+
+#: Accepted ``mode`` values of :func:`resolve_executor`.
+EXECUTOR_MODES = ("auto", "serial", "thread", "process")
+
+
+def resolve_executor(workers: Optional[int] = None, mode: str = "auto") -> ExecutorPolicy:
+    """Build an executor policy from a worker count and a mode name.
+
+    Args:
+        workers: Desired concurrency.  ``None`` or ``0`` means "one worker
+            per CPU"; ``1`` selects the serial policy under ``mode="auto"``.
+        mode: ``"serial"``, ``"thread"``, ``"process"``, or ``"auto"``
+            (serial for one worker, process pool otherwise).
+    """
+    if mode not in EXECUTOR_MODES:
+        raise ConfigurationError(
+            f"unknown executor mode {mode!r}; expected one of {', '.join(EXECUTOR_MODES)}"
+        )
+    if workers is not None and workers < 0:
+        raise ConfigurationError(f"workers must be >= 0, got {workers}")
+    if mode == "serial":
+        return SerialExecutor()
+    if mode == "thread":
+        return ThreadExecutor(workers)
+    if mode == "process":
+        return ProcessExecutor(workers)
+    if _effective_workers(workers) <= 1:
+        return SerialExecutor()
+    return ProcessExecutor(workers)

@@ -8,11 +8,12 @@ import pytest
 
 from repro.analysis.reporting import format_table, solutions_to_rows, write_csv
 from repro.analysis.scalability import scalability_study
-from repro.analysis.sweep import sweep_delay_bound, sweep_energy_budget
-from repro.analysis.validation import validate_protocol
+from repro.analysis.sweep import SweepResult, sweep_delay_bound, sweep_energy_budget, sweep_grid
+from repro.analysis.validation import validate_protocol, validate_protocols
 from repro.core.requirements import ApplicationRequirements
 from repro.exceptions import ConfigurationError
 from repro.protocols import XMACModel
+from repro.runtime import ThreadExecutor
 from repro.simulation import SimulationConfig
 
 FAST = {"grid_points_per_dimension": 40, "random_starts": 2}
@@ -44,6 +45,55 @@ class TestSweeps:
         result = sweep_delay_bound(xmac, energy_budget=0.06, delay_bounds=[0.8, 2.0, 5.0], **FAST)
         best = [s.energy_best for s in result.solutions]
         assert best[0] >= best[1] >= best[2]
+
+    def test_duplicate_swept_value_kept_per_index(self, xmac):
+        # A value swept twice must appear twice in the feasible list (and in
+        # the series), not be collapsed or dropped by a membership test.
+        result = sweep_delay_bound(
+            xmac, energy_budget=0.06, delay_bounds=[3.0, 0.001, 3.0], **FAST
+        )
+        assert result.feasibility == [True, False, True]
+        assert result.feasible_values == [3.0, 3.0]
+        assert len(result.series()) == 2
+
+    def test_legacy_feasible_values_drop_infeasible_once(self):
+        # Direct construction without per-index flags (legacy shape): an
+        # infeasible value listed once must only drop one occurrence.
+        result = SweepResult(
+            protocol="X-MAC",
+            swept_parameter="max_delay",
+            values=[2.0, 2.0, 3.0],
+            infeasible_values=[2.0],
+        )
+        assert result.feasible_values == [2.0, 3.0]
+
+
+class TestSweepGrid:
+    def test_grid_matches_individual_sweeps(self, xmac, dmac):
+        models = {"xmac": xmac, "dmac": dmac}
+        base = {
+            name: ApplicationRequirements(
+                energy_budget=0.06,
+                max_delay=6.0,
+                sampling_rate=model.scenario.sampling_rate,
+            )
+            for name, model in models.items()
+        }
+        grid = sweep_grid(models, "max_delay", [2.0, 5.0], base, **FAST)
+        assert set(grid) == {"xmac", "dmac"}
+        for name, model in models.items():
+            single = sweep_delay_bound(
+                model, energy_budget=0.06, delay_bounds=[2.0, 5.0], **FAST
+            )
+            assert grid[name].series() == single.series()
+
+    def test_grid_rejects_unknown_parameter(self, xmac):
+        with pytest.raises(ConfigurationError):
+            sweep_grid({"xmac": xmac}, "jitter", [1.0], {"xmac": None})
+
+    def test_grid_rejects_missing_requirements(self, xmac):
+        with pytest.raises(ConfigurationError):
+            sweep_grid({"xmac": xmac}, "max_delay", [1.0], {})
 
 
 class TestReporting:
@@ -101,6 +151,15 @@ class TestValidation:
         )
         assert report.within(energy_tolerance=1.0, delay_tolerance=1.0)
         assert not report.within(energy_tolerance=1e-9, delay_tolerance=1e-9)
+
+    def test_batched_validation_matches_individual(self, small_scenario):
+        model = XMACModel(small_scenario)
+        config = SimulationConfig(horizon=800.0, seed=3)
+        jobs = [(model, {"wakeup_interval": 0.4}), (model, {"wakeup_interval": 0.6})]
+        serial = validate_protocols(jobs, config)
+        threaded = validate_protocols(jobs, config, executor=ThreadExecutor(workers=2))
+        assert [r.as_dict() for r in serial] == [r.as_dict() for r in threaded]
+        assert [r.parameters["wakeup_interval"] for r in serial] == [0.4, 0.6]
 
 
 class TestScalability:

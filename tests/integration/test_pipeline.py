@@ -117,6 +117,45 @@ class TestCLI:
         output = capsys.readouterr().out
         assert "E_star" in output and "L_star" in output
 
+    def test_sweep_command_parallel_matches_serial(self, capsys):
+        common = [
+            "sweep",
+            "xmac",
+            "--vary",
+            "max-delay",
+            "--values",
+            "2.0",
+            "4.0",
+            "--depth",
+            "4",
+            "--density",
+            "6",
+            "--sampling-period",
+            "600",
+            "--grid-points",
+            "25",
+            "--no-cache",
+        ]
+        assert cli_main(common + ["--workers", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert cli_main(common + ["--workers", "2"]) == 0
+        parallel = capsys.readouterr().out
+        # Identical rows; only the trailing "# runtime:" line may differ.
+        strip = lambda out: [l for l in out.splitlines() if not l.startswith("# runtime:")]
+        assert strip(serial) == strip(parallel)
+        assert "# runtime: serial[1]" in serial
+        assert "# runtime: process[2]" in parallel
+
+    def test_bad_workers_is_a_clean_error(self, capsys):
+        code = cli_main(["figure1", "--workers", "-1"])
+        assert code == 2
+        assert "workers must be >= 0" in capsys.readouterr().err
+
+    def test_unknown_protocol_is_a_clean_error(self, capsys):
+        code = cli_main(["solve", "nosuchproto"])
+        assert code == 2
+        assert "unknown protocol" in capsys.readouterr().err
+
     def test_sweep_command_with_csv(self, capsys, tmp_path):
         csv_path = tmp_path / "sweep.csv"
         code = cli_main(

@@ -1,0 +1,102 @@
+"""Parallel/serial equivalence: the runtime's core guarantee.
+
+A sweep run through the batch runner must produce bit-identical
+``SweepResult.series()`` rows whether it runs serially, on a thread pool or
+on a process pool — and whether the solutions come from fresh solves or
+from the cache.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sweep import sweep_delay_bound, sweep_energy_budget
+from repro.protocols.registry import available_protocols, create_protocol
+from repro.runtime import BatchRunner, SolveCache, build_runner
+
+FAST = {"grid_points_per_dimension": 15, "random_starts": 1}
+DELAYS = [2.0, 4.0, 6.0]
+BUDGETS = [0.02, 0.06]
+
+
+def _serial() -> BatchRunner:
+    return build_runner(workers=1, use_cache=False)
+
+
+def _parallel(workers: int = 4) -> BatchRunner:
+    return build_runner(workers=workers, use_cache=False)
+
+
+@pytest.mark.parametrize("protocol", available_protocols())
+class TestParallelSerialEquivalence:
+    def test_delay_sweep_rows_identical(self, protocol, small_scenario):
+        model = create_protocol(protocol, small_scenario)
+        serial = sweep_delay_bound(
+            model, energy_budget=0.06, delay_bounds=DELAYS, runner=_serial(), **FAST
+        )
+        parallel = sweep_delay_bound(
+            model, energy_budget=0.06, delay_bounds=DELAYS, runner=_parallel(), **FAST
+        )
+        # Bit-identical: == on floats, no tolerance.
+        assert serial.series() == parallel.series()
+        assert serial.feasibility == parallel.feasibility
+        assert serial.infeasible_values == parallel.infeasible_values
+
+    def test_energy_sweep_rows_identical(self, protocol, small_scenario):
+        model = create_protocol(protocol, small_scenario)
+        serial = sweep_energy_budget(
+            model, max_delay=6.0, energy_budgets=BUDGETS, runner=_serial(), **FAST
+        )
+        parallel = sweep_energy_budget(
+            model, max_delay=6.0, energy_budgets=BUDGETS, runner=_parallel(), **FAST
+        )
+        assert serial.series() == parallel.series()
+
+
+class TestInfeasibleEquivalence:
+    def test_partially_infeasible_sweep_identical(self, xmac):
+        delays = [1e-4, 3.0, 1e-5, 5.0]
+        serial = sweep_delay_bound(
+            xmac, energy_budget=0.06, delay_bounds=delays, runner=_serial(), **FAST
+        )
+        parallel = sweep_delay_bound(
+            xmac, energy_budget=0.06, delay_bounds=delays, runner=_parallel(2), **FAST
+        )
+        assert serial.series() == parallel.series()
+        assert serial.infeasible_values == parallel.infeasible_values == [1e-4, 1e-5]
+        assert serial.feasibility == [False, True, False, True]
+
+
+class TestCacheDeterminism:
+    def test_cache_hit_rows_identical_to_fresh_solve(self, xmac):
+        cache = SolveCache()
+        runner = BatchRunner(cache=cache)
+        fresh = sweep_delay_bound(
+            xmac, energy_budget=0.06, delay_bounds=DELAYS, runner=runner, **FAST
+        )
+        assert (fresh.cache_hits, fresh.cache_misses) == (0, len(DELAYS))
+        cached = sweep_delay_bound(
+            xmac, energy_budget=0.06, delay_bounds=DELAYS, runner=runner, **FAST
+        )
+        assert (cached.cache_hits, cached.cache_misses) == (len(DELAYS), 0)
+        assert cached.series() == fresh.series()
+        assert [s.as_dict() for s in cached.solutions] == [s.as_dict() for s in fresh.solutions]
+
+    def test_cache_warmed_by_parallel_run_serves_serial_run(self, xmac):
+        cache = SolveCache()
+        warm = sweep_delay_bound(
+            xmac,
+            energy_budget=0.06,
+            delay_bounds=DELAYS,
+            runner=build_runner(workers=2, cache=cache),
+            **FAST,
+        )
+        served = sweep_delay_bound(
+            xmac,
+            energy_budget=0.06,
+            delay_bounds=DELAYS,
+            runner=BatchRunner(cache=cache),
+            **FAST,
+        )
+        assert served.cache_hits == len(DELAYS)
+        assert served.series() == warm.series()
