@@ -30,6 +30,8 @@ Package layout:
 * :mod:`repro.gametheory` — generic bargaining solutions and axiom checks.
 * :mod:`repro.simulation` — packet-level discrete-event simulator.
 * :mod:`repro.runtime` — parallel executor policies, solve cache, batch runner.
+* :mod:`repro.scenarios` — named scenario presets and the (scenario ×
+  protocol) suite runner.
 * :mod:`repro.analysis` — sweeps, validation and reporting.
 * :mod:`repro.experiments` — figure-by-figure reproduction drivers.
 """
@@ -62,8 +64,15 @@ from repro.runtime import (
     resolve_executor,
 )
 from repro.scenario import Scenario, default_scenario
+from repro.scenarios import (
+    ScenarioPreset,
+    ScenarioSuite,
+    SuiteCell,
+    SuiteResult,
+    run_scenario_suite,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ApplicationRequirements",
@@ -73,7 +82,12 @@ __all__ = [
     "OptimizationOutcome",
     "TradeoffPoint",
     "Scenario",
+    "ScenarioPreset",
+    "ScenarioSuite",
+    "SuiteCell",
+    "SuiteResult",
     "default_scenario",
+    "run_scenario_suite",
     "BatchRunner",
     "CacheStats",
     "ExecutorPolicy",

@@ -6,6 +6,8 @@
 * ``sweep``     — sweep a requirement and print the series,
 * ``figure1``   — regenerate the paper's Figure 1 series,
 * ``figure2``   — regenerate the paper's Figure 2 series,
+* ``suite``     — run the scenario suite: every (scenario × protocol) game,
+* ``scenarios`` — list the scenario presets of the library,
 * ``validate``  — compare the analytical model against the simulator,
 * ``protocols`` — list the available protocol models.
 """
@@ -29,6 +31,7 @@ from repro.network.topology import RingTopology
 from repro.protocols.registry import available_protocols, create_protocol
 from repro.runtime import BatchRunner, build_runner
 from repro.scenario import Scenario
+from repro.scenarios import ScenarioSuite, available_scenarios, scenario_presets
 from repro.simulation.runner import SimulationConfig
 
 
@@ -87,6 +90,40 @@ def _add_runtime_arguments(parser: argparse.ArgumentParser) -> None:
 def _cmd_protocols(_: argparse.Namespace) -> int:
     for name in available_protocols():
         print(name)
+    return 0
+
+
+def _cmd_scenarios(_: argparse.Namespace) -> int:
+    rows = [dict(preset.describe()) for preset in scenario_presets()]
+    print(format_table(rows))
+    return 0
+
+
+def _cmd_suite(args: argparse.Namespace) -> int:
+    runner = _build_runner(args)
+    suite = ScenarioSuite(
+        scenarios=args.scenarios,
+        protocols=args.protocols,
+        runner=runner,
+        grid_points_per_dimension=args.grid_points,
+        energy_budget=args.energy_budget,
+        max_delay=args.max_delay,
+    )
+    print(
+        f"# scenario suite: {len(suite.presets)} scenarios × "
+        f"{len(suite.protocols)} protocols = {suite.pair_count} games"
+    )
+    result = suite.run()
+    rows = result.rows()
+    print(format_table(rows))
+    if args.csv:
+        path = write_csv(rows, args.csv)
+        print(f"# wrote {path}")
+    infeasible = result.infeasible_cells
+    if infeasible:
+        pairs = ", ".join(f"{cell.scenario}/{cell.protocol}" for cell in infeasible)
+        print(f"# infeasible pairs: {pairs}")
+    _print_runtime_summary(runner)
     return 0
 
 
@@ -218,6 +255,50 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scenario_arguments(figure2_parser)
     _add_runtime_arguments(figure2_parser)
     figure2_parser.set_defaults(handler=lambda args: _cmd_figure(args, 2))
+
+    scenarios_parser = subparsers.add_parser(
+        "scenarios", help="list the scenario presets of the library"
+    )
+    scenarios_parser.set_defaults(handler=_cmd_scenarios)
+
+    suite_parser = subparsers.add_parser(
+        "suite", help="run every (scenario × protocol) game of the scenario library"
+    )
+    suite_parser.add_argument(
+        "--scenarios",
+        nargs="+",
+        default=None,
+        metavar="NAME",
+        help=f"scenario presets to run (default: all — {', '.join(available_scenarios())})",
+    )
+    suite_parser.add_argument(
+        "--protocols",
+        nargs="+",
+        default=None,
+        metavar="NAME",
+        help="protocols to run (default: all registered)",
+    )
+    suite_parser.add_argument(
+        "--energy-budget",
+        type=float,
+        default=None,
+        help="override every preset's suggested energy budget (J/s)",
+    )
+    suite_parser.add_argument(
+        "--max-delay",
+        type=float,
+        default=None,
+        help="override every preset's suggested delay bound (s)",
+    )
+    suite_parser.add_argument(
+        "--grid-points",
+        type=int,
+        default=60,
+        help="grid resolution per parameter dimension for the hybrid solver",
+    )
+    suite_parser.add_argument("--csv", default=None, help="optional CSV output path")
+    _add_runtime_arguments(suite_parser)
+    suite_parser.set_defaults(handler=_cmd_suite)
 
     validate_parser = subparsers.add_parser(
         "validate", help="compare the analytical model against the simulator"

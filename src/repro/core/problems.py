@@ -20,6 +20,7 @@ from repro.core.parameters import ParameterSpace
 from repro.core.requirements import ApplicationRequirements
 from repro.core.results import OptimizationOutcome, TradeoffPoint
 from repro.exceptions import ConfigurationError, InfeasibleProblemError
+from repro.optimization.grid import batched
 from repro.optimization.hybrid import hybrid_solve
 from repro.optimization.result import SolverResult
 from repro.protocols.base import DutyCycledMACModel
@@ -94,9 +95,25 @@ class _ProblemBase:
             delay=self._model.system_latency(x),
         )
 
+    # The objectives and constraints handed to the solvers carry batched
+    # ``.many`` twins (see :func:`repro.optimization.batched`) so the grid
+    # stage evaluates whole parameter grids in a few NumPy calls instead of
+    # one Python call per point; SLSQP keeps using the scalar side.
+
+    def _energy_objective(self) -> Callable[[np.ndarray], float]:
+        model = self._model
+        return batched(model.system_energy, model.energy_many)
+
+    def _latency_objective(self) -> Callable[[np.ndarray], float]:
+        model = self._model
+        return batched(model.system_latency, model.latency_many)
+
     def _capacity_constraint(self) -> Callable[[np.ndarray], float]:
         model = self._model
-        return lambda x: model.capacity_margin(x)
+        return batched(
+            lambda x: model.capacity_margin(x),
+            lambda grid: model.capacity_margin_many(grid),
+        )
 
 
 class EnergyMinimizationProblem(_ProblemBase):
@@ -114,7 +131,10 @@ class EnergyMinimizationProblem(_ProblemBase):
         model = self._model
         max_delay = self._requirements.max_delay
         return [
-            lambda x: max_delay - model.system_latency(x),
+            batched(
+                lambda x: max_delay - model.system_latency(x),
+                lambda grid: max_delay - model.latency_many(grid),
+            ),
             self._capacity_constraint(),
         ]
 
@@ -130,7 +150,7 @@ class EnergyMinimizationProblem(_ProblemBase):
                 the delay bound.
         """
         result = solver(
-            self._model.system_energy,
+            self._energy_objective(),
             self.space,
             self.constraints(),
             maximize=False,
@@ -167,7 +187,10 @@ class DelayMinimizationProblem(_ProblemBase):
         model = self._model
         budget = self._requirements.energy_budget
         return [
-            lambda x: budget - model.system_energy(x),
+            batched(
+                lambda x: budget - model.system_energy(x),
+                lambda grid: budget - model.energy_many(grid),
+            ),
             self._capacity_constraint(),
         ]
 
@@ -183,7 +206,7 @@ class DelayMinimizationProblem(_ProblemBase):
                 the energy budget.
         """
         result = solver(
-            self._model.system_latency,
+            self._latency_objective(),
             self.space,
             self.constraints(),
             maximize=False,
@@ -261,6 +284,29 @@ class NashBargainingProblem(_ProblemBase):
             max(delay_gain, floor_delay)
         )
 
+    def objective_many(self, grid: np.ndarray) -> np.ndarray:
+        """Batched twin of :meth:`objective` for a parameter grid.
+
+        The expensive part — ``E(X)`` and ``L(X)`` over the whole grid — is
+        vectorized; the logarithms are applied per element with ``math.log``
+        because ``np.log`` is not guaranteed to round identically, and the
+        grid stage must stay bit-identical to the scalar path.
+        """
+        energy_gains = self._disagreement_energy - self._model.energy_many(grid)
+        delay_gains = self._disagreement_delay - self._model.latency_many(grid)
+        floor_energy = self._LOG_FLOOR * self._disagreement_energy
+        floor_delay = self._LOG_FLOOR * self._disagreement_delay
+        return np.array(
+            [
+                math.log(max(energy_gain, floor_energy))
+                + math.log(max(delay_gain, floor_delay))
+                for energy_gain, delay_gain in zip(
+                    energy_gains.tolist(), delay_gains.tolist()
+                )
+            ],
+            dtype=float,
+        )
+
     def nash_product(self, x: np.ndarray) -> float:
         """The raw Nash product ``(Eworst - E(X)) (Lworst - L(X))`` (clipped at 0)."""
         energy_gain = max(0.0, self._disagreement_energy - self._model.system_energy(x))
@@ -273,8 +319,14 @@ class NashBargainingProblem(_ProblemBase):
         budget = min(self._requirements.energy_budget, self._disagreement_energy)
         delay_cap = min(self._requirements.max_delay, self._disagreement_delay)
         return [
-            lambda x: budget - model.system_energy(x),
-            lambda x: delay_cap - model.system_latency(x),
+            batched(
+                lambda x: budget - model.system_energy(x),
+                lambda grid: budget - model.energy_many(grid),
+            ),
+            batched(
+                lambda x: delay_cap - model.system_latency(x),
+                lambda grid: delay_cap - model.latency_many(grid),
+            ),
             self._capacity_constraint(),
         ]
 
@@ -291,7 +343,7 @@ class NashBargainingProblem(_ProblemBase):
                 inconsistent (e.g. the requirements changed between solves).
         """
         result = solver(
-            self.objective,
+            batched(self.objective, self.objective_many),
             self.space,
             self.constraints(),
             maximize=True,

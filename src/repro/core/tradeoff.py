@@ -126,20 +126,27 @@ class EnergyDelayGame:
         """
         space = self._model.parameter_space
         grid = space.grid(samples_per_dimension)
-        admissible_points: List[np.ndarray] = []
-        costs: List[List[float]] = []
-        for candidate in grid:
-            if not self._model.is_admissible(candidate):
-                continue
-            energy = self._model.system_energy(candidate)
-            delay = self._model.system_latency(candidate)
-            if respect_requirements and not self._requirements.satisfied_by(energy, delay):
-                continue
-            admissible_points.append(candidate)
-            costs.append([energy, delay])
-        if not costs:
+        admissible = self._model.is_admissible_many(grid)
+        candidates = grid[admissible]
+        if candidates.shape[0] == 0:
             return []
-        cost_array = np.asarray(costs, dtype=float)
+        energies = self._model.energy_many(candidates)
+        delays = self._model.latency_many(candidates)
+        if respect_requirements:
+            satisfied = np.array(
+                [
+                    self._requirements.satisfied_by(energy, delay)
+                    for energy, delay in zip(energies.tolist(), delays.tolist())
+                ],
+                dtype=bool,
+            )
+            candidates = candidates[satisfied]
+            energies = energies[satisfied]
+            delays = delays[satisfied]
+        if candidates.shape[0] == 0:
+            return []
+        admissible_points = list(candidates)
+        cost_array = np.stack([energies, delays], axis=-1)
         frontier_costs = pareto_frontier(cost_array)
         # Map each frontier point back to a parameter vector (first match).
         frontier_points: List[TradeoffPoint] = []

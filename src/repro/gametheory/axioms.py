@@ -43,7 +43,16 @@ def check_pareto_optimality(
     rule: BargainingRule = nash_bargaining_solution,
     tolerance: float = 1e-9,
 ) -> AxiomCheck:
-    """The selected point must not be dominated by any feasible alternative."""
+    """The selected point must not be dominated by any feasible alternative.
+
+    Args:
+        game: The finite bargaining game to check on.
+        rule: The bargaining rule under test (default: the Nash solution).
+        tolerance: Domination slack.
+
+    Returns:
+        An :class:`AxiomCheck` named ``"pareto_optimality"``.
+    """
     point = rule(game)
     efficient = game.is_pareto_efficient(point.index, tolerance)
     return AxiomCheck(
@@ -58,7 +67,16 @@ def check_symmetry(
     rule: BargainingRule = nash_bargaining_solution,
     tolerance: float = 1e-9,
 ) -> AxiomCheck:
-    """Swapping the players must swap the selected payoffs."""
+    """Swapping the players must swap the selected payoffs.
+
+    Args:
+        game: The finite bargaining game to check on.
+        rule: The bargaining rule under test (default: the Nash solution).
+        tolerance: Relative comparison slack.
+
+    Returns:
+        An :class:`AxiomCheck` named ``"symmetry"``.
+    """
     original = rule(game)
     swapped = rule(game.swapped())
     expected = (original.payoff[1], original.payoff[0])
@@ -80,7 +98,18 @@ def check_scale_invariance(
     shift: Sequence[float] = (1.0, -3.0),
     tolerance: float = 1e-9,
 ) -> AxiomCheck:
-    """A positive affine rescaling of utilities must map the solution accordingly."""
+    """A positive affine rescaling of utilities must map the solution accordingly.
+
+    Args:
+        game: The finite bargaining game to check on.
+        rule: The bargaining rule under test (default: the Nash solution).
+        scale: Per-player positive scale factors of the affine map.
+        shift: Per-player shifts of the affine map.
+        tolerance: Relative comparison slack.
+
+    Returns:
+        An :class:`AxiomCheck` named ``"scale_invariance"``.
+    """
     original = rule(game)
     transformed = rule(game.rescaled(scale, shift))
     scale_array = np.asarray(scale, dtype=float)
@@ -109,6 +138,20 @@ def check_independence_of_irrelevant_alternatives(
     A random subset of the alternatives (always containing the originally
     selected one) is kept; the rule must select the same payoff on the
     restricted game.
+
+    Args:
+        game: The finite bargaining game to check on.
+        rule: The bargaining rule under test (default: the Nash solution).
+        keep_fraction: Fraction of alternatives kept in the restricted game.
+        seed: Seed of the random subset.
+        tolerance: Relative comparison slack.
+
+    Returns:
+        An :class:`AxiomCheck` named
+        ``"independence_of_irrelevant_alternatives"``.
+
+    Raises:
+        BargainingError: if ``keep_fraction`` is outside ``(0, 1]``.
     """
     if not (0.0 < keep_fraction <= 1.0):
         raise BargainingError(f"keep_fraction must be in (0, 1], got {keep_fraction!r}")
@@ -140,7 +183,16 @@ def check_all_axioms(
     rule: BargainingRule = nash_bargaining_solution,
     tolerance: float = 1e-9,
 ) -> Dict[str, AxiomCheck]:
-    """Run all four axiom checks and return them keyed by axiom name."""
+    """Run all four axiom checks on one game.
+
+    Args:
+        game: The finite bargaining game to check on.
+        rule: The bargaining rule under test (default: the Nash solution).
+        tolerance: Comparison slack shared by all four checks.
+
+    Returns:
+        The four :class:`AxiomCheck` results keyed by axiom name.
+    """
     checks = [
         check_pareto_optimality(game, rule, tolerance),
         check_symmetry(game, rule, tolerance),

@@ -20,6 +20,14 @@ def egalitarian_solution(game: BargainingGame, tolerance: float = 1e-12) -> Barg
     Ties on the minimum gain are broken by the larger total gain, which picks
     the Pareto-superior of two equally balanced points.
 
+    Args:
+        game: The finite bargaining game to solve.
+        tolerance: Slack used for individual-rationality and tie-breaking.
+
+    Returns:
+        The selected :class:`~repro.gametheory.game.BargainingPoint`; its
+        ``objective`` is the maximized minimum gain.
+
     Raises:
         BargainingError: if no alternative weakly dominates the disagreement
             point.

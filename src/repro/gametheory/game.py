@@ -53,9 +53,12 @@ class BargainingGame:
             "player2")``.
 
     Raises:
-        BargainingError: if the feasible set is empty, contains non-finite
-            payoffs, or no alternative weakly dominates the disagreement
-            point.
+        BargainingError: if the feasible set is empty or contains non-finite
+            payoffs, or the disagreement point is malformed.  (Whether any
+            alternative dominates the disagreement point is *not* checked
+            here — the solution rules check it, so a game with no
+            individually rational outcome can still be constructed and
+            inspected.)
     """
 
     def __init__(

@@ -26,6 +26,15 @@ def kalai_smorodinsky_solution(
     Pareto-efficient point whose relative gains are closest to equal, with
     the larger minimum relative gain used as a tie-break.
 
+    Args:
+        game: The finite bargaining game to solve.
+        tolerance: Slack used for individual-rationality, degenerate ideal
+            gains and tie-breaking.
+
+    Returns:
+        The selected :class:`~repro.gametheory.game.BargainingPoint`; its
+        ``objective`` is the minimum relative gain at the selection.
+
     Raises:
         BargainingError: if no alternative weakly dominates the disagreement
             point, or the ideal gains are degenerate (zero for a player).

@@ -22,6 +22,13 @@ def nash_product(gains: np.ndarray) -> np.ndarray:
     Gains below zero are clipped to zero so that individually irrational
     alternatives can never win the argmax: their product is zero, and ties
     at zero are broken in favour of rational alternatives by the caller.
+
+    Args:
+        gains: ``(n, 2)`` array of per-alternative gains over the
+            disagreement point.
+
+    Returns:
+        ``(n,)`` array with the product of the clipped gains per alternative.
     """
     clipped = np.clip(gains, 0.0, None)
     return clipped[:, 0] * clipped[:, 1]
@@ -29,6 +36,16 @@ def nash_product(gains: np.ndarray) -> np.ndarray:
 
 def nash_bargaining_solution(game: BargainingGame, tolerance: float = 1e-12) -> BargainingPoint:
     """Select the Nash bargaining outcome of a finite game.
+
+    Args:
+        game: The finite bargaining game (payoff sample + disagreement
+            point) to solve.
+        tolerance: Slack used for individual-rationality and for deciding
+            ties on the Nash product.
+
+    Returns:
+        The selected :class:`~repro.gametheory.game.BargainingPoint`; its
+        ``objective`` is the winning Nash product.
 
     Raises:
         BargainingError: if no alternative weakly dominates the disagreement

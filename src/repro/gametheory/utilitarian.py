@@ -20,6 +20,14 @@ def utilitarian_solution(game: BargainingGame, tolerance: float = 1e-12) -> Barg
     Ties on the total gain are broken by the larger minimum gain, which picks
     the more balanced of two equally efficient points.
 
+    Args:
+        game: The finite bargaining game to solve.
+        tolerance: Slack used for individual-rationality and tie-breaking.
+
+    Returns:
+        The selected :class:`~repro.gametheory.game.BargainingPoint`; its
+        ``objective`` is the maximized total gain.
+
     Raises:
         BargainingError: if no alternative weakly dominates the disagreement
             point.

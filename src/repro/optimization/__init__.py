@@ -6,7 +6,8 @@ the core framework uses:
 
 * :mod:`repro.optimization.result` — the common :class:`SolverResult` record.
 * :mod:`repro.optimization.grid` — exhaustive grid search (robust, derivative
-  free; used to seed and to cross-check the gradient-based solver).
+  free; used to seed and to cross-check the gradient-based solver), with a
+  vectorized whole-grid path for objectives carrying :func:`batched` twins.
 * :mod:`repro.optimization.constrained` — multi-start SLSQP via
   :func:`scipy.optimize.minimize`.
 * :mod:`repro.optimization.hybrid` — grid-seeded SLSQP, the default solver.
@@ -17,7 +18,7 @@ the core framework uses:
 """
 
 from repro.optimization.result import SolverResult
-from repro.optimization.grid import grid_search
+from repro.optimization.grid import batched, grid_search
 from repro.optimization.constrained import slsqp_solve, multistart_slsqp
 from repro.optimization.hybrid import hybrid_solve
 from repro.optimization.scalarization import weighted_sum_scan
@@ -29,6 +30,7 @@ from repro.optimization.convexity import (
 
 __all__ = [
     "SolverResult",
+    "batched",
     "grid_search",
     "slsqp_solve",
     "multistart_slsqp",

@@ -4,10 +4,24 @@ The MAC parameter spaces are one- or two-dimensional boxes, so a dense grid
 is both affordable and an excellent robustness baseline: it cannot be fooled
 by local minima or by a badly scaled constraint, which makes it the seed and
 the cross-check for the gradient-based solver.
+
+Two evaluation paths share one selection rule:
+
+* the **scalar** path loops over the grid calling the objective and the
+  constraint margins point by point — always available;
+* the **vectorized** path evaluates the whole grid in a handful of NumPy
+  calls when the objective and every constraint expose a batched twin (a
+  ``.many(points)`` attribute, attached with :func:`batched`).
+
+The vectorized path replicates the scalar path's skip/tie-break/violation
+semantics operation for operation, so the two return **bit-identical**
+results; ``tests/optimization/test_grid_vectorized.py`` enforces this and
+``benchmarks/bench_vectorized_grid.py`` records the speedup.
 """
 
 from __future__ import annotations
 
+import functools
 from typing import Callable, Optional, Sequence
 
 import numpy as np
@@ -20,6 +34,41 @@ from repro.optimization.result import SolverResult
 Objective = Callable[[np.ndarray], float]
 #: Signature of a constraint margin: ``>= 0`` means satisfied.
 Constraint = Callable[[np.ndarray], float]
+#: Signature of a batched twin: maps an ``(n, dim)`` grid to ``(n,)`` values.
+BatchedFunction = Callable[[np.ndarray], np.ndarray]
+
+#: Error message shared by both evaluation paths when nothing evaluates.
+_NO_FINITE_POINT = "grid search found no grid point with a finite objective value"
+
+
+def batched(scalar: Callable[[np.ndarray], float], many: BatchedFunction) -> Objective:
+    """Attach a batched twin to a scalar objective or constraint.
+
+    Args:
+        scalar: The per-point callable the solvers use (e.g. a bound
+            ``model.system_energy``).
+        many: Its batched twin mapping an ``(n, dim)`` grid to an ``(n,)``
+            array, expected to be bit-identical to calling ``scalar`` per row.
+
+    Returns:
+        A wrapper that forwards per-point calls to ``scalar`` and carries
+        ``many`` as a ``.many`` attribute, which :func:`grid_search`
+        auto-detects.  (A plain attribute cannot be set on a bound method,
+        hence the wrapper.)
+    """
+
+    @functools.wraps(scalar, assigned=("__doc__",), updated=())
+    def wrapper(x: np.ndarray) -> float:
+        return scalar(x)
+
+    wrapper.many = many  # type: ignore[attr-defined]
+    wrapper.scalar = scalar  # type: ignore[attr-defined]
+    return wrapper
+
+
+def _batched_twin(function: Callable) -> Optional[BatchedFunction]:
+    """The ``.many`` twin of an objective/constraint, or ``None``."""
+    return getattr(function, "many", None)
 
 
 def _violation(constraints: Sequence[Constraint], point: np.ndarray) -> float:
@@ -33,35 +82,15 @@ def _violation(constraints: Sequence[Constraint], point: np.ndarray) -> float:
     return worst
 
 
-def grid_search(
+def _grid_search_scalar(
     objective: Objective,
-    space: ParameterSpace,
-    constraints: Sequence[Constraint] = (),
-    points_per_dimension: int = 200,
-    maximize: bool = False,
-    feasibility_tolerance: float = 1e-9,
+    points: np.ndarray,
+    constraints: Sequence[Constraint],
+    sign: float,
+    maximize: bool,
+    feasibility_tolerance: float,
 ) -> SolverResult:
-    """Minimize (or maximize) an objective over a full-factorial grid.
-
-    Args:
-        objective: Scalar objective of a solver-ordered parameter array.
-        space: The admissible box.
-        constraints: Margin functions; a point is feasible when every margin
-            is ``>= -feasibility_tolerance``.
-        points_per_dimension: Grid resolution along each axis.
-        maximize: Maximize instead of minimize.
-        feasibility_tolerance: Slack allowed on constraint margins.
-
-    Returns:
-        The best *feasible* grid point if one exists; otherwise the point of
-        least violation, flagged as infeasible.
-
-    Raises:
-        SolverError: if every grid point evaluates to a non-finite objective.
-    """
-    sign = -1.0 if maximize else 1.0
-    points = space.grid(points_per_dimension)
-
+    """Point-by-point reference implementation of the grid scan."""
     best: Optional[SolverResult] = None
     evaluations = 0
     for point in points:
@@ -83,9 +112,7 @@ def grid_search(
         if candidate.better_than(best):
             best = candidate
     if best is None:
-        raise SolverError(
-            "grid search found no grid point with a finite objective value"
-        )
+        raise SolverError(_NO_FINITE_POINT)
     return SolverResult(
         x=best.x,
         value=sign * best.value if maximize else best.value,
@@ -94,4 +121,109 @@ def grid_search(
         evaluations=evaluations,
         constraint_violation=best.constraint_violation,
         message=f"{points.shape[0]} grid points evaluated",
+    )
+
+
+def _grid_search_vectorized(
+    objective: Objective,
+    points: np.ndarray,
+    constraints: Sequence[Constraint],
+    sign: float,
+    feasibility_tolerance: float,
+) -> SolverResult:
+    """Whole-grid NumPy implementation, bit-identical to the scalar path.
+
+    The scalar loop (a) skips points where any margin is non-finite, (b)
+    skips points with a non-finite objective, (c) prefers feasible points,
+    then smaller signed objective, then — among infeasible points — smaller
+    violation, keeping the *first* optimum on exact ties.  ``np.argmin``
+    returns the first minimizing index, which reproduces the strict-``<``
+    incumbent updates of :meth:`SolverResult.better_than` exactly.
+    """
+    total = points.shape[0]
+    violation = np.zeros(total)
+    margins_finite = np.ones(total, dtype=bool)
+    for constraint in constraints:
+        margins = np.asarray(_batched_twin(constraint)(points), dtype=float).reshape(total)
+        margins_finite &= np.isfinite(margins)
+        violation = np.maximum(violation, -margins)
+    raw = np.asarray(_batched_twin(objective)(points), dtype=float).reshape(total)
+    valid = margins_finite & np.isfinite(raw)
+    if not bool(valid.any()):
+        raise SolverError(_NO_FINITE_POINT)
+
+    feasible_mask = valid & (violation <= feasibility_tolerance)
+    if bool(feasible_mask.any()):
+        signed = sign * raw
+        best_index = int(np.argmin(np.where(feasible_mask, signed, np.inf)))
+        feasible = True
+    else:
+        best_index = int(np.argmin(np.where(valid, violation, np.inf)))
+        feasible = False
+    return SolverResult(
+        x=points[best_index],
+        value=float(raw[best_index]),
+        feasible=feasible,
+        method="grid",
+        evaluations=total,
+        constraint_violation=float(violation[best_index]),
+        message=f"{total} grid points evaluated",
+    )
+
+
+def grid_search(
+    objective: Objective,
+    space: ParameterSpace,
+    constraints: Sequence[Constraint] = (),
+    points_per_dimension: int = 200,
+    maximize: bool = False,
+    feasibility_tolerance: float = 1e-9,
+    vectorize: Optional[bool] = None,
+) -> SolverResult:
+    """Minimize (or maximize) an objective over a full-factorial grid.
+
+    Args:
+        objective: Scalar objective of a solver-ordered parameter array.
+            When it (and every constraint) carries a batched ``.many`` twin
+            — see :func:`batched` — the whole grid is evaluated in a few
+            NumPy calls instead of a Python loop.
+        space: The admissible box.
+        constraints: Margin functions; a point is feasible when every margin
+            is ``>= -feasibility_tolerance``.
+        points_per_dimension: Grid resolution along each axis.
+        maximize: Maximize instead of minimize.
+        feasibility_tolerance: Slack allowed on constraint margins.
+        vectorize: ``None`` (default) auto-detects the batched path;
+            ``False`` forces the scalar loop (used by the equivalence tests
+            and the benchmarks); ``True`` requires batched twins and raises
+            if any are missing.
+
+    Returns:
+        The best *feasible* grid point if one exists; otherwise the point of
+        least violation, flagged as infeasible.  Both evaluation paths
+        return bit-identical results.
+
+    Raises:
+        SolverError: if every grid point evaluates to a non-finite objective,
+            or ``vectorize=True`` without batched twins everywhere.
+    """
+    sign = -1.0 if maximize else 1.0
+    points = space.grid(points_per_dimension)
+
+    batchable = _batched_twin(objective) is not None and all(
+        _batched_twin(constraint) is not None for constraint in constraints
+    )
+    if vectorize is None:
+        vectorize = batchable
+    elif vectorize and not batchable:
+        raise SolverError(
+            "grid search: vectorize=True requires the objective and every "
+            "constraint to carry a batched .many twin (see repro.optimization.batched)"
+        )
+    if vectorize:
+        return _grid_search_vectorized(
+            objective, points, constraints, sign, feasibility_tolerance
+        )
+    return _grid_search_scalar(
+        objective, points, constraints, sign, maximize, feasibility_tolerance
     )

@@ -276,6 +276,121 @@ class DutyCycledMACModel(abc.ABC):
             )
         return array
 
+    def coerce_grid(self, grid: np.ndarray) -> np.ndarray:
+        """Normalize a batch of parameter vectors to a ``(n, dimension)`` array.
+
+        Args:
+            grid: A 2-D array of shape ``(n, dimension)`` (one solver-ordered
+                parameter vector per row, e.g. the output of
+                :meth:`~repro.core.parameters.ParameterSpace.grid`), or a 1-D
+                array of length ``dimension`` treated as a single row.
+
+        Returns:
+            A float ``(n, dimension)`` array.
+
+        Raises:
+            ConfigurationError: if the trailing dimension does not match the
+                parameter space.
+        """
+        array = np.asarray(grid, dtype=float)
+        dimension = self.parameter_space.dimension
+        if array.ndim == 1:
+            array = array.reshape(1, -1)
+        if array.ndim != 2 or array.shape[1] != dimension:
+            raise ConfigurationError(
+                f"{self.name}: expected a (n, {dimension}) parameter grid, "
+                f"got shape {np.asarray(grid).shape}"
+            )
+        return array
+
+    # ------------------------------------------------------------------ #
+    # Batched (vectorized) evaluation
+    # ------------------------------------------------------------------ #
+    #
+    # The batched methods evaluate whole parameter grids at once and are the
+    # hot path of the grid solver and the frontier extraction.  The base
+    # implementations fall back to the scalar methods row by row, so any
+    # user-defined protocol is automatically correct; the built-in protocols
+    # override them with NumPy element-wise formulas that are *bit-identical*
+    # to the scalar path (same operations in the same order on float64).
+    # Unlike the scalar path, the batched path does not validate each
+    # point's energy breakdown — callers are expected to stay inside the
+    # parameter box, where the breakdowns are well-formed by construction.
+
+    def energy_many(self, grid: np.ndarray) -> np.ndarray:
+        """System energy ``E(X)`` (J/s) for every row of a parameter grid.
+
+        Args:
+            grid: ``(n, dimension)`` array of solver-ordered parameter rows.
+
+        Returns:
+            ``(n,)`` array with ``E(X)`` per row, bit-identical to calling
+            :meth:`system_energy` on each row.
+        """
+        grid = self.coerce_grid(grid)
+        return np.array([self.system_energy(row) for row in grid], dtype=float)
+
+    def latency_many(self, grid: np.ndarray) -> np.ndarray:
+        """System delay ``L(X)`` (seconds) for every row of a parameter grid.
+
+        Args:
+            grid: ``(n, dimension)`` array of solver-ordered parameter rows.
+
+        Returns:
+            ``(n,)`` array with ``L(X)`` per row, bit-identical to calling
+            :meth:`system_latency` on each row.
+        """
+        grid = self.coerce_grid(grid)
+        return np.array([self.system_latency(row) for row in grid], dtype=float)
+
+    def capacity_margin_many(self, grid: np.ndarray) -> np.ndarray:
+        """Capacity-constraint slack for every row of a parameter grid.
+
+        Args:
+            grid: ``(n, dimension)`` array of solver-ordered parameter rows.
+
+        Returns:
+            ``(n,)`` array with :meth:`capacity_margin` per row.
+        """
+        grid = self.coerce_grid(grid)
+        return np.array([self.capacity_margin(row) for row in grid], dtype=float)
+
+    def is_admissible_many(self, grid: np.ndarray, tolerance: float = 1e-9) -> np.ndarray:
+        """Batched twin of :meth:`is_admissible` for a parameter grid.
+
+        When the subclass keeps the base constraint structure (capacity
+        margin plus box bounds), the whole grid is checked with three NumPy
+        comparisons; a subclass that overrides :meth:`constraint_margins` or
+        :meth:`is_admissible` to add protocol-specific constraints is
+        checked row by row through its own :meth:`is_admissible`, so custom
+        constraints are never silently ignored.
+
+        Args:
+            grid: ``(n, dimension)`` array of solver-ordered parameter rows.
+            tolerance: Slack allowed on every constraint margin.
+
+        Returns:
+            ``(n,)`` boolean array, ``True`` where the row satisfies all
+            protocol constraints — identical to calling
+            :meth:`is_admissible` per row.
+        """
+        grid = self.coerce_grid(grid)
+        cls = type(self)
+        base_constraints = (
+            cls.constraint_margins is DutyCycledMACModel.constraint_margins
+            and cls.is_admissible is DutyCycledMACModel.is_admissible
+        )
+        if base_constraints:
+            space = self.parameter_space
+            return (
+                (self.capacity_margin_many(grid) >= -tolerance)
+                & ((grid - space.lower_bounds) >= -tolerance).all(axis=1)
+                & ((space.upper_bounds - grid) >= -tolerance).all(axis=1)
+            )
+        return np.array(
+            [self.is_admissible(row, tolerance) for row in grid], dtype=bool
+        )
+
     # ------------------------------------------------------------------ #
     # Reporting
     # ------------------------------------------------------------------ #

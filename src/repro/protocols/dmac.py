@@ -28,6 +28,8 @@ from __future__ import annotations
 from functools import cached_property
 from typing import Dict
 
+import numpy as np
+
 from repro.core.parameters import Parameter, ParameterSpace
 from repro.protocols.base import DutyCycledMACModel, EnergyBreakdown, ParameterVector
 from repro.scenario import Scenario
@@ -211,6 +213,67 @@ class DMACModel(DutyCycledMACModel):
         )
         return min(1.0, awake)
 
+    # ------------------------------------------------------------------ #
+    # Batched evaluation (bit-identical to the scalar formulas above)
+    # ------------------------------------------------------------------ #
+
+    def _duty_cycle_many(self, frame: np.ndarray, ring: int) -> np.ndarray:
+        """Element-wise twin of :meth:`duty_cycle` for a frame-length column."""
+        traffic = self.traffic.ring_traffic(ring)
+        awake = (
+            2.0 * self.slot_time / frame
+            + traffic.output * (0.5 * self._contention_window + self._times["exchange"])
+            + traffic.input * self._times["ack"]
+        )
+        return np.minimum(1.0, awake)
+
+    def energy_many(self, grid: np.ndarray) -> np.ndarray:
+        """Vectorized ``E(X)``: max over rings of the per-node energy."""
+        frame = self.coerce_grid(grid)[:, 0]
+        radio = self.scenario.radio
+        times = self._times
+        best = None
+        for ring in self.scenario.topology.rings():
+            traffic = self.traffic.ring_traffic(ring)
+            carrier_sense = 2.0 * self.slot_time * radio.power_rx / frame
+            transmit = traffic.output * (
+                0.5 * self._contention_window * radio.power_rx
+                + times["data"] * radio.power_tx
+                + times["ack"] * radio.power_rx
+            )
+            receive = traffic.input * times["ack"] * radio.power_tx
+            awake_fraction = np.minimum(1.0, 2.0 * self.slot_time / frame)
+            overhear = traffic.background * awake_fraction * times["data"] * radio.power_rx
+            sync_transmit = times["sync"] * radio.power_tx / self._sync_period
+            sync_receive = (
+                (1.0 + traffic.input_links) * times["sync"] * radio.power_rx / self._sync_period
+            )
+            sleep = radio.power_sleep * np.maximum(
+                0.0, 1.0 - self._duty_cycle_many(frame, ring)
+            )
+            total = (
+                carrier_sense + transmit + receive + overhear + sync_transmit + sync_receive + sleep
+            )
+            best = total if best is None else np.maximum(best, total)
+        return best
+
+    def latency_many(self, grid: np.ndarray) -> np.ndarray:
+        """Vectorized ``L(X)``: initial wave wait plus one slot per hop."""
+        frame = self.coerce_grid(grid)[:, 0]
+        hops = 0
+        for _ in range(1, self.scenario.depth + 1):
+            hops = hops + self.slot_time
+        return 0.5 * frame + hops
+
+    def capacity_margin_many(self, grid: np.ndarray) -> np.ndarray:
+        """Vectorized bottleneck capacity slack."""
+        frame = self.coerce_grid(grid)[:, 0]
+        bottleneck = self.scenario.topology.bottleneck_ring
+        offered_per_frame = (
+            self.scenario.density * self.traffic.peak_output_rate(bottleneck) * frame
+        )
+        return self.max_utilization - offered_per_frame
+
     def capacity_margin(self, params: ParameterVector) -> float:
         """Bottleneck capacity slack.
 
@@ -219,11 +282,12 @@ class DMACModel(DutyCycledMACModel):
         drains roughly one packet per frame per collision domain.  The
         aggregate offered load ``C * F_out(1) * Tf`` (i.e. the whole
         network's traffic) must therefore stay below
-        :attr:`max_utilization` packets per frame.
+        :attr:`max_utilization` packets per frame.  The peak (bursty) rate
+        is what must fit.
         """
         frame = self._frame_length(params)
         bottleneck = self.scenario.topology.bottleneck_ring
         offered_per_frame = (
-            self.scenario.density * self.traffic.output_rate(bottleneck) * frame
+            self.scenario.density * self.traffic.peak_output_rate(bottleneck) * frame
         )
         return self.max_utilization - offered_per_frame

@@ -31,6 +31,8 @@ from __future__ import annotations
 from functools import cached_property
 from typing import Dict
 
+import numpy as np
+
 from repro.core.parameters import Parameter, ParameterSpace
 from repro.exceptions import ConfigurationError
 from repro.protocols.base import DutyCycledMACModel, EnergyBreakdown, ParameterVector
@@ -227,9 +229,68 @@ class LMACModel(DutyCycledMACModel):
         )
         return min(1.0, awake)
 
+    # ------------------------------------------------------------------ #
+    # Batched evaluation (bit-identical to the scalar formulas above)
+    # ------------------------------------------------------------------ #
+
+    def _duty_cycle_many(self, slot: np.ndarray, count: np.ndarray, ring: int) -> np.ndarray:
+        """Element-wise twin of :meth:`duty_cycle` for slot/count columns."""
+        frame = slot * count
+        times = self._times
+        traffic = self.traffic.ring_traffic(ring)
+        awake = (
+            (count - 1.0) * times["listen_per_slot"] / frame
+            + (times["control"] + times["wakeup"]) / frame
+            + traffic.output * times["data"]
+            + traffic.input * times["data"]
+        )
+        return np.minimum(1.0, awake)
+
+    def energy_many(self, grid: np.ndarray) -> np.ndarray:
+        """Vectorized ``E(X)``: max over rings of the per-node energy."""
+        grid = self.coerce_grid(grid)
+        slot, count = grid[:, 0], grid[:, 1]
+        frame = slot * count
+        radio = self.scenario.radio
+        times = self._times
+        best = None
+        for ring in self.scenario.topology.rings():
+            traffic = self.traffic.ring_traffic(ring)
+            carrier_sense = (count - 1.0) * times["listen_per_slot"] * radio.power_rx / frame
+            transmit = traffic.output * times["data"] * radio.power_tx
+            receive = traffic.input * times["data"] * radio.power_rx
+            sync_transmit = (times["control"] + times["wakeup"]) * radio.power_tx / frame
+            sleep = radio.power_sleep * np.maximum(
+                0.0, 1.0 - self._duty_cycle_many(slot, count, ring)
+            )
+            total = carrier_sense + transmit + receive + 0.0 + sync_transmit + 0.0 + sleep
+            best = total if best is None else np.maximum(best, total)
+        return best
+
+    def latency_many(self, grid: np.ndarray) -> np.ndarray:
+        """Vectorized ``L(X)``: half a frame of slot wait per hop."""
+        grid = self.coerce_grid(grid)
+        frame = grid[:, 0] * grid[:, 1]
+        hop = 0.5 * frame + self._times["data"]
+        total = 0.0
+        for _ in range(1, self.scenario.depth + 1):
+            total = total + hop
+        return total
+
+    def capacity_margin_many(self, grid: np.ndarray) -> np.ndarray:
+        """Vectorized bottleneck capacity slack."""
+        grid = self.coerce_grid(grid)
+        frame = grid[:, 0] * grid[:, 1]
+        bottleneck = self.scenario.topology.bottleneck_ring
+        offered_per_frame = self.traffic.peak_output_rate(bottleneck) * frame
+        return self.max_utilization - offered_per_frame
+
     def capacity_margin(self, params: ParameterVector) -> float:
-        """Bottleneck capacity slack: one data unit per owned slot per frame."""
+        """Bottleneck capacity slack: one data unit per owned slot per frame.
+
+        The peak (bursty) output rate is what must fit into the owned slot.
+        """
         frame = self.frame_length(params)
         bottleneck = self.scenario.topology.bottleneck_ring
-        offered_per_frame = self.traffic.output_rate(bottleneck) * frame
+        offered_per_frame = self.traffic.peak_output_rate(bottleneck) * frame
         return self.max_utilization - offered_per_frame

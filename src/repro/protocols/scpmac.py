@@ -19,6 +19,8 @@ from __future__ import annotations
 from functools import cached_property
 from typing import Dict
 
+import numpy as np
+
 from repro.core.parameters import Parameter, ParameterSpace
 from repro.protocols.base import DutyCycledMACModel, EnergyBreakdown, ParameterVector
 from repro.scenario import Scenario
@@ -161,19 +163,89 @@ class SCPMACModel(DutyCycledMACModel):
         )
         return min(1.0, awake)
 
+    # ------------------------------------------------------------------ #
+    # Batched evaluation (bit-identical to the scalar formulas above)
+    # ------------------------------------------------------------------ #
+
+    def _duty_cycle_many(self, poll: np.ndarray, ring: int) -> np.ndarray:
+        """Element-wise twin of :meth:`duty_cycle` for a poll-interval column."""
+        times = self._times
+        traffic = self.traffic.ring_traffic(ring)
+        awake = (
+            times["poll"] / poll
+            + traffic.output * (times["tone"] + times["exchange"])
+            + traffic.input * (0.5 * times["tone"] + times["exchange"])
+            + traffic.background * 0.5 * times["tone"]
+            + (1.0 + self.scenario.density) * times["sync"] / self._sync_period
+        )
+        return np.minimum(1.0, awake)
+
+    def energy_many(self, grid: np.ndarray) -> np.ndarray:
+        """Vectorized ``E(X)``: max over rings of the per-node energy."""
+        poll = self.coerce_grid(grid)[:, 0]
+        radio = self.scenario.radio
+        times = self._times
+        best = None
+        for ring in self.scenario.topology.rings():
+            traffic = self.traffic.ring_traffic(ring)
+            carrier_sense = times["poll"] * radio.power_rx / poll
+            transmit = traffic.output * (
+                times["tone"] * radio.power_tx
+                + times["data"] * radio.power_tx
+                + times["ack"] * radio.power_rx
+            )
+            receive = traffic.input * (
+                0.5 * times["tone"] * radio.power_rx
+                + times["data"] * radio.power_rx
+                + times["ack"] * radio.power_tx
+            )
+            overhear = traffic.background * 0.5 * times["tone"] * radio.power_rx
+            sync_transmit = times["sync"] * radio.power_tx / self._sync_period
+            sync_receive = (
+                self.scenario.density * times["sync"] * radio.power_rx / self._sync_period
+            )
+            sleep = radio.power_sleep * np.maximum(
+                0.0, 1.0 - self._duty_cycle_many(poll, ring)
+            )
+            total = (
+                carrier_sense + transmit + receive + overhear + sync_transmit + sync_receive + sleep
+            )
+            best = total if best is None else np.maximum(best, total)
+        return best
+
+    def latency_many(self, grid: np.ndarray) -> np.ndarray:
+        """Vectorized ``L(X)``: one synchronized-poll wait per hop."""
+        poll = self.coerce_grid(grid)[:, 0]
+        times = self._times
+        hop = 0.5 * poll + times["tone"] + times["exchange"]
+        total = 0.0
+        for _ in range(1, self.scenario.depth + 1):
+            total = total + hop
+        return total
+
+    def capacity_margin_many(self, grid: np.ndarray) -> np.ndarray:
+        """Vectorized bottleneck channel-utilization slack."""
+        poll = self.coerce_grid(grid)[:, 0]
+        times = self._times
+        bottleneck = self.scenario.topology.bottleneck_ring
+        traffic = self.traffic.ring_traffic(bottleneck)
+        per_second_airtime = (traffic.peak_output + traffic.peak_input) * (times["tone"] + times["exchange"])
+        contention_stretch = 1.0 + traffic.background * poll * times["exchange"]
+        return self.max_utilization - per_second_airtime * contention_stretch
+
     def capacity_margin(self, params: ParameterVector) -> float:
         """Bottleneck channel-utilization slack.
 
         All transmissions in a neighbourhood are squeezed into the instants
         right after the synchronized polls, so contention is fiercer than in
-        X-MAC; the per-poll traffic of the bottleneck neighbourhood must fit
-        into the admissible utilization.
+        X-MAC; the per-poll traffic of the bottleneck neighbourhood — at its
+        peak (bursty) rate — must fit into the admissible utilization.
         """
         poll = self._poll_interval(params)
         times = self._times
         bottleneck = self.scenario.topology.bottleneck_ring
         traffic = self.traffic.ring_traffic(bottleneck)
-        per_second_airtime = (traffic.output + traffic.input) * (times["tone"] + times["exchange"])
+        per_second_airtime = (traffic.peak_output + traffic.peak_input) * (times["tone"] + times["exchange"])
         # The neighbourhood's packets all contend within the polling epochs.
         contention_stretch = 1.0 + traffic.background * poll * times["exchange"]
         return self.max_utilization - per_second_airtime * contention_stretch

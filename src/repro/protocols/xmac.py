@@ -25,6 +25,8 @@ from __future__ import annotations
 from functools import cached_property
 from typing import Dict
 
+import numpy as np
+
 from repro.core.parameters import Parameter, ParameterSpace
 from repro.protocols.base import DutyCycledMACModel, EnergyBreakdown, ParameterVector
 from repro.scenario import Scenario
@@ -185,19 +187,84 @@ class XMACModel(DutyCycledMACModel):
         )
         return min(1.0, awake)
 
+    # ------------------------------------------------------------------ #
+    # Batched evaluation (bit-identical to the scalar formulas above)
+    # ------------------------------------------------------------------ #
+
+    def _duty_cycle_many(self, wakeup: np.ndarray, ring: int) -> np.ndarray:
+        """Element-wise twin of :meth:`duty_cycle` for a wake-up column."""
+        times = self._times
+        traffic = self.traffic.ring_traffic(ring)
+        awake = (
+            times["poll"] / wakeup
+            + traffic.output * (0.5 * wakeup + times["exchange"])
+            + traffic.input * (0.5 * times["strobe_period"] + times["strobe"] + times["exchange"])
+            + traffic.background * 1.5 * times["strobe_period"]
+        )
+        return np.minimum(1.0, awake)
+
+    def energy_many(self, grid: np.ndarray) -> np.ndarray:
+        """Vectorized ``E(X)``: max over rings of the per-node energy."""
+        wakeup = self.coerce_grid(grid)[:, 0]
+        times = self._times
+        radio = self.scenario.radio
+        best = None
+        for ring in self.scenario.topology.rings():
+            traffic = self.traffic.ring_traffic(ring)
+            carrier_sense = times["poll"] * radio.power_rx / wakeup
+            transmit = traffic.output * (
+                0.5 * wakeup * times["strobe_power"]
+                + times["data"] * radio.power_tx
+                + times["ack"] * radio.power_rx
+            )
+            receive = traffic.input * (
+                (0.5 * times["strobe_period"] + times["strobe"]) * radio.power_rx
+                + times["ack"] * radio.power_tx
+                + times["data"] * radio.power_rx
+            )
+            overhear = traffic.background * 1.5 * times["strobe_period"] * radio.power_rx
+            sleep = radio.power_sleep * np.maximum(
+                0.0, 1.0 - self._duty_cycle_many(wakeup, ring)
+            )
+            total = carrier_sense + transmit + receive + overhear + 0.0 + 0.0 + sleep
+            best = total if best is None else np.maximum(best, total)
+        return best
+
+    def latency_many(self, grid: np.ndarray) -> np.ndarray:
+        """Vectorized ``L(X)``: the ring-``D`` end-to-end delay."""
+        wakeup = self.coerce_grid(grid)[:, 0]
+        times = self._times
+        hop = 0.5 * wakeup + times["strobe_period"] + times["exchange"]
+        total = 0.0
+        for _ in range(1, self.scenario.depth + 1):
+            total = total + hop
+        return total
+
+    def capacity_margin_many(self, grid: np.ndarray) -> np.ndarray:
+        """Vectorized bottleneck channel-utilization slack."""
+        wakeup = self.coerce_grid(grid)[:, 0]
+        times = self._times
+        bottleneck = self.scenario.topology.bottleneck_ring
+        traffic = self.traffic.ring_traffic(bottleneck)
+        busy = traffic.peak_output * (0.5 * wakeup + times["strobe_period"] + times["exchange"]) + (
+            traffic.peak_input * (0.5 * times["strobe_period"] + times["strobe"] + times["exchange"])
+        )
+        return self.max_utilization - busy
+
     def capacity_margin(self, params: ParameterVector) -> float:
         """Bottleneck (ring-1) channel-utilization slack.
 
         Each outgoing packet occupies the channel for the strobe train plus
         the data exchange; each incoming packet for the residual strobe plus
         the exchange.  The busy fraction must stay below
-        :attr:`max_utilization`.
+        :attr:`max_utilization`.  Capacity is provisioned for the *peak*
+        rates, so bursty traffic tightens this constraint.
         """
         wakeup = self._wakeup_interval(params)
         times = self._times
         bottleneck = self.scenario.topology.bottleneck_ring
         traffic = self.traffic.ring_traffic(bottleneck)
-        busy = traffic.output * (0.5 * wakeup + times["strobe_period"] + times["exchange"]) + (
-            traffic.input * (0.5 * times["strobe_period"] + times["strobe"] + times["exchange"])
+        busy = traffic.peak_output * (0.5 * wakeup + times["strobe_period"] + times["exchange"]) + (
+            traffic.peak_input * (0.5 * times["strobe_period"] + times["strobe"] + times["exchange"])
         )
         return self.max_utilization - busy

@@ -29,12 +29,17 @@ class Scenario:
         sampling_rate: Application sampling rate ``Fs`` in packets/s/node.
         radio: Radio hardware model.
         packets: Frame-size model.
+        burstiness: Traffic burst factor ``beta >= 1``.  Samples are emitted
+            in bursts of ``beta`` back-to-back packets: mean rates (and thus
+            energy) are unchanged, peak rates (and thus the capacity
+            constraints) scale by ``beta``.  ``1.0`` is strictly periodic.
     """
 
     topology: RingTopology = field(default_factory=lambda: RingTopology(depth=5, density=8))
     sampling_rate: float = 1.0 / 300.0
     radio: RadioModel = field(default_factory=cc2420)
     packets: PacketModel = field(default_factory=PacketModel)
+    burstiness: float = 1.0
 
     def __post_init__(self) -> None:
         if not isinstance(self.topology, RingTopology):
@@ -53,6 +58,10 @@ class Scenario:
             require_positive("sampling_rate", self.sampling_rate)
         except ValueError as exc:
             raise ConfigurationError(str(exc)) from exc
+        if not isinstance(self.burstiness, (int, float)) or self.burstiness < 1.0:
+            raise ConfigurationError(
+                f"burstiness must be a number >= 1, got {self.burstiness!r}"
+            )
 
     # ------------------------------------------------------------------ #
     # Derived objects
@@ -60,8 +69,8 @@ class Scenario:
 
     @property
     def traffic(self) -> TrafficModel:
-        """Traffic model induced by the topology and the sampling rate."""
-        return TrafficModel(self.topology, self.sampling_rate)
+        """Traffic model induced by the topology, sampling rate and burstiness."""
+        return TrafficModel(self.topology, self.sampling_rate, self.burstiness)
 
     @property
     def depth(self) -> int:
@@ -100,6 +109,10 @@ class Scenario:
         """Return a copy with a different frame-size model."""
         return replace(self, packets=packets)
 
+    def with_burstiness(self, burstiness: float) -> "Scenario":
+        """Return a copy with a different traffic burst factor."""
+        return replace(self, burstiness=burstiness)
+
     def describe(self) -> Mapping[str, object]:
         """Structured summary for reports and experiment headers."""
         return {
@@ -108,6 +121,7 @@ class Scenario:
             "total_nodes": self.topology.total_nodes(),
             "sampling_rate_hz": self.sampling_rate,
             "sampling_period_s": self.sampling_period,
+            "burstiness": self.burstiness,
             "radio": self.radio.name,
             "payload_bytes": self.packets.payload_bytes,
         }

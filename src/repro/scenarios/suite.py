@@ -1,0 +1,319 @@
+"""The scenario suite: every (scenario × protocol) game in one batch.
+
+:class:`ScenarioSuite` expands a set of scenario presets and protocol names
+into one :class:`~repro.runtime.batch.SolveTask` grid and pushes it through
+the shared :mod:`repro.runtime` batch layer — so a suite run gets the solve
+cache, in-batch deduplication and process-pool fan-out (bit-identical to a
+serial run) for free.  It is the "run everything everywhere" entry point the
+ROADMAP's scenario axis asks for.
+
+Infeasibility is data, not failure: a (scenario, protocol) pair whose game
+has no feasible point — or whose protocol model cannot even be constructed
+in that environment — is recorded as an infeasible :class:`SuiteCell`
+without poisoning the rest of the batch.  Any other solver error is a real
+bug and is re-raised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.core.results import GameSolution
+from repro.exceptions import ConfigurationError
+from repro.protocols.registry import available_protocols, canonical_name, create_protocol
+from repro.runtime import BatchRunner, SolveTask, default_runner
+from repro.scenarios.presets import ScenarioPreset, scenario_preset
+
+#: A scenario argument: a registered preset name or an explicit preset.
+ScenarioLike = Union[str, ScenarioPreset]
+
+
+@dataclass(frozen=True)
+class SuiteCell:
+    """Outcome of one (scenario, protocol) game of a suite run.
+
+    Attributes:
+        scenario: Preset name.
+        protocol: Canonical protocol name.
+        solution: The game solution, or ``None`` when the cell is infeasible.
+        error: Human-readable reason when ``solution`` is ``None``.
+        from_cache: Whether the solve was answered by the solve cache.
+        solve_seconds: Wall-clock seconds of the solve (0 for cache hits).
+    """
+
+    scenario: str
+    protocol: str
+    solution: Optional[GameSolution]
+    error: Optional[str] = None
+    from_cache: bool = False
+    solve_seconds: float = 0.0
+
+    @property
+    def feasible(self) -> bool:
+        """Whether the game had a solution in this cell."""
+        return self.solution is not None
+
+
+@dataclass
+class SuiteResult:
+    """All cells of one suite run, in (scenario-major) submission order.
+
+    Attributes:
+        cells: One :class:`SuiteCell` per (scenario, protocol) pair.
+        runner_description: Label of the runner that executed the batch
+            (e.g. ``"process[4]+cache"``), for reports.
+    """
+
+    cells: List[SuiteCell] = field(default_factory=list)
+    runner_description: str = ""
+
+    @property
+    def feasible_cells(self) -> List[SuiteCell]:
+        """Cells whose game produced a solution."""
+        return [cell for cell in self.cells if cell.feasible]
+
+    @property
+    def infeasible_cells(self) -> List[SuiteCell]:
+        """Cells whose game had no feasible point (or no valid model)."""
+        return [cell for cell in self.cells if not cell.feasible]
+
+    def solution(self, scenario: str, protocol: str) -> Optional[GameSolution]:
+        """The solution of one cell, or ``None`` if absent/infeasible."""
+        protocol = canonical_name(protocol)
+        for cell in self.cells:
+            if cell.scenario == scenario and cell.protocol == protocol:
+                return cell.solution
+        return None
+
+    def by_scenario(self) -> Dict[str, List[SuiteCell]]:
+        """Cells grouped by scenario name, preserving submission order."""
+        grouped: Dict[str, List[SuiteCell]] = {}
+        for cell in self.cells:
+            grouped.setdefault(cell.scenario, []).append(cell)
+        return grouped
+
+    def rows(self) -> List[Dict[str, object]]:
+        """One flat row per cell, for tables and CSV export.
+
+        Every row carries the same columns (``format_table`` and CSV export
+        require it): infeasible cells leave the solution columns blank and
+        fill ``error``; feasible cells leave ``error`` blank.
+        """
+        rows: List[Dict[str, object]] = []
+        for cell in self.cells:
+            solution = cell.solution
+            rows.append(
+                {
+                    "scenario": cell.scenario,
+                    "protocol": cell.protocol,
+                    "feasible": cell.feasible,
+                    "E_star": solution.energy_star if solution else "",
+                    "L_star": solution.delay_star if solution else "",
+                    "E_best": solution.energy_best if solution else "",
+                    "L_best": solution.delay_best if solution else "",
+                    "fairness_residual": (
+                        solution.bargaining.fairness_residual if solution else ""
+                    ),
+                    "error": "" if solution else (cell.error or "")[:80],
+                }
+            )
+        return rows
+
+
+class ScenarioSuite:
+    """Sweep the bargaining game across scenarios and protocols.
+
+    Args:
+        scenarios: Preset names and/or :class:`ScenarioPreset` instances;
+            defaults to every registered preset.
+        protocols: Protocol names; defaults to every registered protocol.
+        runner: Batch runner the (scenario × protocol) grid is pushed
+            through; defaults to the serial cached runner.  Pass
+            ``build_runner(workers=4)`` to fan the solves out over a
+            process pool — results stay bit-identical.
+        grid_points_per_dimension: Grid resolution of the hybrid solver.
+        energy_budget: Override the per-preset suggested energy budget.
+        max_delay: Override the per-preset suggested delay bound.
+
+    Example:
+        >>> from repro.scenarios import ScenarioSuite
+        >>> suite = ScenarioSuite(scenarios=("paper-default",), protocols=("xmac",))
+        >>> result = suite.run()
+        >>> result.cells[0].feasible
+        True
+    """
+
+    def __init__(
+        self,
+        scenarios: Optional[Iterable[ScenarioLike]] = None,
+        protocols: Optional[Sequence[str]] = None,
+        runner: Optional[BatchRunner] = None,
+        grid_points_per_dimension: int = 60,
+        energy_budget: Optional[float] = None,
+        max_delay: Optional[float] = None,
+        **solver_options: object,
+    ) -> None:
+        if scenarios is None:
+            from repro.scenarios.presets import scenario_presets
+
+            resolved: List[ScenarioPreset] = scenario_presets()
+        else:
+            resolved = [self._resolve(scenario) for scenario in scenarios]
+        if not resolved:
+            raise ConfigurationError("the scenario suite needs at least one scenario")
+        names = [preset.name for preset in resolved]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate scenarios in suite: {names}")
+        self._presets = resolved
+        self._protocols = [
+            canonical_name(name) for name in (protocols or available_protocols())
+        ]
+        if not self._protocols:
+            raise ConfigurationError("the scenario suite needs at least one protocol")
+        self._runner = runner if runner is not None else default_runner()
+        self._solver_options: Dict[str, object] = dict(solver_options)
+        self._solver_options.setdefault(
+            "grid_points_per_dimension", grid_points_per_dimension
+        )
+        self._energy_budget = energy_budget
+        self._max_delay = max_delay
+
+    @staticmethod
+    def _resolve(scenario: ScenarioLike) -> ScenarioPreset:
+        if isinstance(scenario, ScenarioPreset):
+            return scenario
+        if isinstance(scenario, str):
+            return scenario_preset(scenario)
+        raise ConfigurationError(
+            f"scenario must be a preset name or a ScenarioPreset, "
+            f"got {type(scenario).__name__}"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def presets(self) -> List[ScenarioPreset]:
+        """The resolved scenario presets, in suite order."""
+        return list(self._presets)
+
+    @property
+    def protocols(self) -> List[str]:
+        """The canonical protocol names, in suite order."""
+        return list(self._protocols)
+
+    @property
+    def pair_count(self) -> int:
+        """Number of (scenario, protocol) cells the suite will run."""
+        return len(self._presets) * len(self._protocols)
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+
+    def _requirements_for(self, preset: ScenarioPreset):
+        requirements = preset.requirements()
+        if self._energy_budget is not None:
+            requirements = requirements.with_energy_budget(self._energy_budget)
+        if self._max_delay is not None:
+            requirements = requirements.with_max_delay(self._max_delay)
+        return requirements
+
+    def run(self) -> SuiteResult:
+        """Solve every (scenario × protocol) game and collect the cells.
+
+        Returns:
+            A :class:`SuiteResult` with one cell per pair, in scenario-major
+            order.  Infeasible games and un-constructible models become
+            infeasible cells; any other error is re-raised.
+        """
+        tasks: List[SolveTask] = []
+        prebuilt: Dict[int, SuiteCell] = {}
+        order: List[object] = []  # SolveTask index (int) or SuiteCell key
+        for preset in self._presets:
+            for protocol in self._protocols:
+                try:
+                    model = create_protocol(protocol, preset.scenario)
+                    model.parameter_space  # noqa: B018 - force lazy validation here,
+                    # not inside a pool worker where it would poison the batch
+                except (ConfigurationError, ValueError) as error:
+                    # The scenario renders the protocol's parameter space
+                    # empty (e.g. a drift bound below the minimum slot):
+                    # that is a property of the pair, not a failure.
+                    cell_key = len(prebuilt)
+                    prebuilt[cell_key] = SuiteCell(
+                        scenario=preset.name,
+                        protocol=protocol,
+                        solution=None,
+                        error=f"model construction failed: {error}",
+                    )
+                    order.append(("cell", cell_key))
+                    continue
+                order.append(("task", len(tasks)))
+                tasks.append(
+                    SolveTask(
+                        model=model,
+                        requirements=self._requirements_for(preset),
+                        solver_options=dict(self._solver_options),
+                        label=f"{preset.name}/{protocol}",
+                        tag=(preset.name, protocol),
+                    )
+                )
+
+        outcomes = self._runner.run(tasks)
+        cells: List[SuiteCell] = []
+        for kind, index in order:
+            if kind == "cell":
+                cells.append(prebuilt[index])
+                continue
+            outcome = outcomes[index]
+            scenario_name, protocol = outcome.tag
+            if outcome.ok:
+                cells.append(
+                    SuiteCell(
+                        scenario=scenario_name,
+                        protocol=protocol,
+                        solution=outcome.solution,
+                        from_cache=outcome.from_cache,
+                        solve_seconds=outcome.solve_seconds,
+                    )
+                )
+            elif outcome.infeasible:
+                cells.append(
+                    SuiteCell(
+                        scenario=scenario_name,
+                        protocol=protocol,
+                        solution=None,
+                        error=str(outcome.error),
+                        solve_seconds=outcome.solve_seconds,
+                    )
+                )
+            else:
+                # Only infeasibility is data; anything else is a real bug.
+                raise outcome.error
+        return SuiteResult(cells=cells, runner_description=self._runner.describe())
+
+
+def run_scenario_suite(
+    scenarios: Optional[Iterable[ScenarioLike]] = None,
+    protocols: Optional[Sequence[str]] = None,
+    runner: Optional[BatchRunner] = None,
+    **options: object,
+) -> SuiteResult:
+    """One-call convenience wrapper: build a :class:`ScenarioSuite` and run it.
+
+    Args:
+        scenarios: Preset names/instances (default: all registered).
+        protocols: Protocol names (default: all registered).
+        runner: Batch runner (default: serial + cache).
+        options: Forwarded to :class:`ScenarioSuite` (e.g.
+            ``grid_points_per_dimension=30``, ``max_delay=10.0``).
+
+    Returns:
+        The :class:`SuiteResult` of the run.
+    """
+    return ScenarioSuite(
+        scenarios=scenarios, protocols=protocols, runner=runner, **options
+    ).run()

@@ -324,5 +324,15 @@ def simulate_protocol(
         params: Parameter vector to simulate (mapping or array).
         config: Simulation configuration; defaults to a 2000-second run on a
             freshly generated deployment matching the model's scenario.
+
+    Returns:
+        A :class:`SimulationResult` with the measured per-node powers,
+        per-ring delays and delivery/channel counters — the same quantities
+        the analytical model predicts, for direct comparison by
+        :mod:`repro.analysis.validation`.
+
+    Raises:
+        SimulationError: if the model's protocol has no registered simulated
+            behaviour (e.g. SCP-MAC) or the configuration is inconsistent.
     """
     return _SimulationRun(model, params, config or SimulationConfig()).run()

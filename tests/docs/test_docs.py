@@ -1,0 +1,123 @@
+"""Documentation health: links, doctests, generated-file freshness.
+
+These tests run the same checks as CI's docs job (``tools/check_docs.py``)
+so a broken link or stale generated page fails locally first, and they pin
+the checker's own behaviour on synthetic good/bad documents.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+from repro.scenarios import scenario_presets
+from repro.scenarios.docs import GENERATED_MARKER, render_scenarios_markdown
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_docs", REPO_ROOT / "tools" / "check_docs.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+check_docs = _load_checker()
+
+
+class TestRepositoryDocs:
+    def test_expected_files_are_covered(self):
+        names = {path.name for path in check_docs.documentation_files(REPO_ROOT)}
+        assert {"README.md", "architecture.md", "paper_map.md", "scenarios.md"} <= names
+
+    def test_all_docs_clean(self):
+        problems = check_docs.run_checks(REPO_ROOT)
+        assert not problems, "\n".join(problems)
+
+    def test_scenarios_md_is_fresh(self):
+        on_disk = (REPO_ROOT / "docs" / "scenarios.md").read_text(encoding="utf-8")
+        assert on_disk == render_scenarios_markdown(), (
+            "docs/scenarios.md is stale; regenerate with "
+            "`PYTHONPATH=src python -m repro.scenarios.docs`"
+        )
+
+    def test_scenarios_md_documents_every_preset(self):
+        on_disk = (REPO_ROOT / "docs" / "scenarios.md").read_text(encoding="utf-8")
+        assert GENERATED_MARKER in on_disk
+        for preset in scenario_presets():
+            assert f"## {preset.name}" in on_disk
+            assert preset.title in on_disk
+
+
+class TestCheckerBehaviour:
+    def _write(self, tmp_path: Path, name: str, content: str) -> Path:
+        path = tmp_path / name
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(content, encoding="utf-8")
+        return path
+
+    def test_broken_relative_link_detected(self, tmp_path):
+        page = self._write(tmp_path, "docs/page.md", "see [x](missing.md)\n")
+        problems = check_docs.check_links(page, tmp_path)
+        assert len(problems) == 1 and "broken link" in problems[0]
+
+    def test_valid_link_and_anchor_accepted(self, tmp_path):
+        self._write(tmp_path, "docs/other.md", "# A Heading\n")
+        page = self._write(
+            tmp_path,
+            "docs/page.md",
+            "# My Page\n[ok](other.md#a-heading) and [self](#my-page)\n",
+        )
+        assert check_docs.check_links(page, tmp_path) == []
+
+    def test_broken_anchor_detected(self, tmp_path):
+        self._write(tmp_path, "docs/other.md", "# A Heading\n")
+        page = self._write(tmp_path, "docs/page.md", "[bad](other.md#nope)\n")
+        problems = check_docs.check_links(page, tmp_path)
+        assert len(problems) == 1 and "broken anchor" in problems[0]
+
+    def test_external_links_skipped(self, tmp_path):
+        page = self._write(
+            tmp_path, "docs/page.md", "[x](https://example.com/missing)\n"
+        )
+        assert check_docs.check_links(page, tmp_path) == []
+
+    def test_passing_doctest_block(self, tmp_path):
+        page = self._write(
+            tmp_path, "docs/page.md", "```python\n>>> 1 + 1\n2\n```\n"
+        )
+        assert check_docs.check_doctests(page, tmp_path) == []
+
+    def test_failing_doctest_block_detected(self, tmp_path):
+        page = self._write(
+            tmp_path, "docs/page.md", "```python\n>>> 1 + 1\n3\n```\n"
+        )
+        problems = check_docs.check_doctests(page, tmp_path)
+        assert len(problems) == 1 and "doctest failed" in problems[0]
+
+    def test_plain_code_blocks_not_executed(self, tmp_path):
+        page = self._write(
+            tmp_path,
+            "docs/page.md",
+            "```python\nraise RuntimeError('not a doctest')\n```\n"
+            "```bash\n>>> not python\n```\n",
+        )
+        assert check_docs.check_doctests(page, tmp_path) == []
+
+    def test_github_slugging_matches_readme_style(self):
+        slug = check_docs.github_slug("Parallel runtime: `--workers` and `--no-cache`")
+        assert slug == "parallel-runtime---workers-and---no-cache"
+
+
+@pytest.mark.parametrize("flag", ["--check"])
+def test_scenarios_docs_check_cli(flag, capsys):
+    """``python -m repro.scenarios.docs --check`` agrees with the tests."""
+    from repro.scenarios import docs as scenario_docs
+
+    assert scenario_docs.main([flag]) == 0
+    assert "up to date" in capsys.readouterr().out

@@ -1,0 +1,197 @@
+"""The vectorized grid-search path: equivalence, detection, forcing.
+
+``grid_search`` has two evaluation paths that must be interchangeable bit
+for bit; these tests pin the contract on the real solver problems (P1, P2,
+P4) and on synthetic objectives that exercise the corner cases the scalar
+loop defines: non-finite margins, non-finite objectives, infeasible-only
+grids, and exact ties (first optimum wins).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.parameters import Parameter, ParameterSpace
+from repro.core.problems import (
+    DelayMinimizationProblem,
+    EnergyMinimizationProblem,
+    NashBargainingProblem,
+)
+from repro.core.requirements import ApplicationRequirements
+from repro.core.tradeoff import EnergyDelayGame
+from repro.exceptions import SolverError
+from repro.optimization.grid import batched, grid_search
+from repro.protocols.registry import PAPER_PROTOCOL_NAMES, create_protocol
+from repro.scenario import default_scenario
+
+
+def _requirements(scenario) -> ApplicationRequirements:
+    return ApplicationRequirements(
+        energy_budget=0.06, max_delay=6.0, sampling_rate=scenario.sampling_rate
+    )
+
+
+def _assert_same_result(a, b):
+    assert np.array_equal(a.x, b.x)
+    assert a.value == b.value
+    assert a.feasible == b.feasible
+    assert a.evaluations == b.evaluations
+    assert a.constraint_violation == b.constraint_violation
+    assert a.message == b.message
+
+
+@pytest.mark.parametrize("protocol", PAPER_PROTOCOL_NAMES)
+@pytest.mark.parametrize("maximize", [False, True])
+def test_vectorized_path_bit_identical_on_solver_problems(protocol, maximize):
+    scenario = default_scenario()
+    model = create_protocol(protocol, scenario)
+    requirements = _requirements(scenario)
+    if maximize:
+        problem = NashBargainingProblem(
+            model, requirements, disagreement_energy=0.06, disagreement_delay=6.0
+        )
+        objective = batched(problem.objective, problem.objective_many)
+    else:
+        problem = EnergyMinimizationProblem(model, requirements)
+        objective = problem._energy_objective()  # noqa: SLF001 - testing the wiring
+    constraints = problem.constraints()
+    kwargs = {"points_per_dimension": 25, "maximize": maximize}
+    scalar = grid_search(objective, problem.space, constraints, vectorize=False, **kwargs)
+    vectorized = grid_search(objective, problem.space, constraints, vectorize=True, **kwargs)
+    auto = grid_search(objective, problem.space, constraints, **kwargs)
+    _assert_same_result(scalar, vectorized)
+    _assert_same_result(scalar, auto)
+
+
+@pytest.mark.parametrize("protocol", PAPER_PROTOCOL_NAMES)
+def test_p2_problem_bit_identical(protocol):
+    scenario = default_scenario()
+    model = create_protocol(protocol, scenario)
+    problem = DelayMinimizationProblem(model, _requirements(scenario))
+    objective = problem._latency_objective()  # noqa: SLF001
+    constraints = problem.constraints()
+    scalar = grid_search(
+        objective, problem.space, constraints, points_per_dimension=25, vectorize=False
+    )
+    vectorized = grid_search(
+        objective, problem.space, constraints, points_per_dimension=25, vectorize=True
+    )
+    _assert_same_result(scalar, vectorized)
+
+
+@pytest.mark.parametrize("protocol", PAPER_PROTOCOL_NAMES)
+def test_full_game_solution_bit_identical(protocol):
+    """End to end: a game solved with the vectorized grid stage equals the
+    scalar-stage solve on every reported float."""
+    scenario = default_scenario()
+    model = create_protocol(protocol, scenario)
+    requirements = _requirements(scenario)
+    fast = EnergyDelayGame(model, requirements, grid_points_per_dimension=30).solve()
+    slow = EnergyDelayGame(
+        model, requirements, grid_points_per_dimension=30, vectorize=False
+    ).solve()
+    assert fast.energy_best == slow.energy_best
+    assert fast.delay_best == slow.delay_best
+    assert fast.energy_worst == slow.energy_worst
+    assert fast.delay_worst == slow.delay_worst
+    assert fast.energy_star == slow.energy_star
+    assert fast.delay_star == slow.delay_star
+    assert fast.bargaining.nash_product == slow.bargaining.nash_product
+
+
+# ---------------------------------------------------------------------- #
+# Synthetic corner cases
+# ---------------------------------------------------------------------- #
+
+
+def _space() -> ParameterSpace:
+    return ParameterSpace([Parameter(name="x", lower=0.0, upper=1.0)])
+
+
+def _with_many(scalar_fn, vector_fn):
+    return batched(scalar_fn, vector_fn)
+
+
+def test_batched_wrapper_forwards_and_carries_many():
+    wrapped = batched(lambda x: float(x[0]) ** 2, lambda grid: grid[:, 0] ** 2)
+    assert wrapped(np.array([3.0])) == 9.0
+    assert np.array_equal(wrapped.many(np.array([[2.0], [4.0]])), np.array([4.0, 16.0]))
+
+
+def test_auto_detection_falls_back_without_many():
+    """A plain (un-batched) constraint forces the scalar loop; results match."""
+    objective = _with_many(lambda x: float(x[0]), lambda grid: grid[:, 0])
+    plain_constraint = lambda x: float(x[0]) - 0.25  # noqa: E731 - no .many twin
+    result = grid_search(objective, _space(), [plain_constraint], points_per_dimension=17)
+    forced = grid_search(
+        objective, _space(), [plain_constraint], points_per_dimension=17, vectorize=False
+    )
+    _assert_same_result(result, forced)
+
+
+def test_vectorize_true_requires_batched_twins():
+    with pytest.raises(SolverError, match="batched .many twin"):
+        grid_search(lambda x: float(x[0]), _space(), vectorize=True)
+
+
+def test_non_finite_margins_skip_points_identically():
+    objective = _with_many(lambda x: float(x[0]), lambda grid: grid[:, 0])
+    constraint = _with_many(
+        lambda x: float("nan") if x[0] < 0.5 else 1.0,
+        lambda grid: np.where(grid[:, 0] < 0.5, np.nan, 1.0),
+    )
+    scalar = grid_search(
+        objective, _space(), [constraint], points_per_dimension=21, vectorize=False
+    )
+    vectorized = grid_search(
+        objective, _space(), [constraint], points_per_dimension=21, vectorize=True
+    )
+    _assert_same_result(scalar, vectorized)
+    assert scalar.x[0] >= 0.5  # the nan half was skipped
+
+
+def test_non_finite_objective_skips_points_identically():
+    objective = _with_many(
+        lambda x: float("inf") if x[0] < 0.5 else float(x[0]),
+        lambda grid: np.where(grid[:, 0] < 0.5, np.inf, grid[:, 0]),
+    )
+    scalar = grid_search(objective, _space(), points_per_dimension=21, vectorize=False)
+    vectorized = grid_search(objective, _space(), points_per_dimension=21, vectorize=True)
+    _assert_same_result(scalar, vectorized)
+    assert scalar.x[0] >= 0.5
+
+
+def test_all_points_non_finite_raises_identically():
+    objective = _with_many(
+        lambda x: float("nan"), lambda grid: np.full(grid.shape[0], np.nan)
+    )
+    with pytest.raises(SolverError):
+        grid_search(objective, _space(), points_per_dimension=5, vectorize=False)
+    with pytest.raises(SolverError):
+        grid_search(objective, _space(), points_per_dimension=5, vectorize=True)
+
+
+def test_infeasible_grid_returns_least_violation_identically():
+    objective = _with_many(lambda x: float(x[0]), lambda grid: grid[:, 0])
+    constraint = _with_many(
+        lambda x: -1.0 - float(x[0]), lambda grid: -1.0 - grid[:, 0]
+    )
+    scalar = grid_search(
+        objective, _space(), [constraint], points_per_dimension=11, vectorize=False
+    )
+    vectorized = grid_search(
+        objective, _space(), [constraint], points_per_dimension=11, vectorize=True
+    )
+    _assert_same_result(scalar, vectorized)
+    assert not scalar.feasible
+    assert scalar.x[0] == 0.0  # least violation at the lower edge
+
+
+def test_exact_ties_keep_first_grid_point_identically():
+    """A constant objective ties everywhere; both paths keep the first point."""
+    objective = _with_many(lambda x: 1.0, lambda grid: np.ones(grid.shape[0]))
+    scalar = grid_search(objective, _space(), points_per_dimension=13, vectorize=False)
+    vectorized = grid_search(objective, _space(), points_per_dimension=13, vectorize=True)
+    _assert_same_result(scalar, vectorized)
+    assert scalar.x[0] == 0.0

@@ -1,0 +1,153 @@
+"""Scenario preset registry: contents, lookup, immutability, extension."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.scenario import Scenario
+from repro.scenarios import (
+    ScenarioPreset,
+    available_scenarios,
+    register_scenario_preset,
+    scenario_by_name,
+    scenario_preset,
+    scenario_presets,
+    unregister_scenario_preset,
+)
+
+
+class TestBuiltinRegistry:
+    def test_at_least_six_presets_registered(self):
+        assert len(available_scenarios()) >= 6
+
+    def test_expected_axes_are_covered(self):
+        names = set(available_scenarios())
+        # Topology, workload and hardware variations promised by the library.
+        assert {"paper-default", "dense-ring", "sparse-ring"} <= names
+        assert {"low-power", "high-rate", "bursty"} <= names
+        assert {"sub-ghz", "legacy-bitradio"} <= names
+
+    def test_every_preset_is_documented(self):
+        for preset in scenario_presets():
+            assert preset.title.strip()
+            assert len(preset.description.strip()) > 80, preset.name
+
+    def test_every_preset_has_positive_requirements(self):
+        for preset in scenario_presets():
+            requirements = preset.requirements()
+            assert requirements.energy_budget > 0
+            assert requirements.max_delay > 0
+            assert requirements.sampling_rate == preset.scenario.sampling_rate
+
+    def test_radio_diversity(self):
+        radios = {preset.scenario.radio.name for preset in scenario_presets()}
+        assert "CC2420" in radios
+        assert len(radios) >= 2, "library must include a non-CC2420 radio"
+
+    def test_bursty_preset_has_bursty_traffic(self):
+        preset = scenario_preset("bursty")
+        assert preset.scenario.burstiness > 1.0
+        assert scenario_preset("paper-default").scenario.burstiness == 1.0
+
+    def test_describe_rows_share_columns(self):
+        rows = [dict(preset.describe()) for preset in scenario_presets()]
+        columns = list(rows[0])
+        assert all(list(row) == columns for row in rows)
+
+
+class TestLookup:
+    def test_unknown_name_raises_with_known_names(self):
+        with pytest.raises(ConfigurationError, match="known presets"):
+            scenario_preset("no-such-scenario")
+        with pytest.raises(ConfigurationError):
+            scenario_by_name("no-such-scenario")
+
+    def test_lookup_is_case_insensitive(self):
+        assert scenario_preset("PAPER-DEFAULT").name == "paper-default"
+
+    def test_scenario_by_name_returns_the_scenario(self):
+        scenario = scenario_by_name("paper-default")
+        assert isinstance(scenario, Scenario)
+        assert scenario.depth == 5
+
+
+class TestImmutability:
+    def test_preset_is_frozen(self):
+        preset = scenario_preset("paper-default")
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            preset.energy_budget = 1.0
+
+    def test_scenario_is_frozen(self):
+        scenario = scenario_by_name("paper-default")
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            scenario.sampling_rate = 1.0
+
+    def test_registry_views_are_copies(self):
+        names = available_scenarios()
+        names.clear()
+        assert available_scenarios(), "mutating the returned list must not affect the registry"
+
+
+class TestRegistration:
+    def _preset(self, name: str = "test-preset") -> ScenarioPreset:
+        return ScenarioPreset(
+            name=name,
+            title="Test preset",
+            description="A synthetic preset used only by the registry tests.",
+            scenario=Scenario(sampling_rate=1.0 / 600.0),
+            energy_budget=0.06,
+            max_delay=6.0,
+        )
+
+    def test_register_and_unregister(self):
+        preset = self._preset()
+        register_scenario_preset(preset)
+        try:
+            assert scenario_preset("test-preset") is preset
+        finally:
+            unregister_scenario_preset("test-preset")
+        with pytest.raises(ConfigurationError):
+            scenario_preset("test-preset")
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(ConfigurationError, match="already registered"):
+            register_scenario_preset(self._preset("paper-default"))
+
+    def test_builtin_cannot_be_unregistered(self):
+        with pytest.raises(ConfigurationError, match="built-in"):
+            unregister_scenario_preset("paper-default")
+        assert "paper-default" in available_scenarios()
+
+    def test_non_preset_rejected(self):
+        with pytest.raises(ConfigurationError):
+            register_scenario_preset(Scenario())  # type: ignore[arg-type]
+
+    def test_invalid_names_rejected(self):
+        for bad_name in ("", "Has Spaces", "CamelCase", "under_score", "-leading"):
+            with pytest.raises(ConfigurationError):
+                self._preset(bad_name)
+
+    def test_blank_documentation_rejected(self):
+        with pytest.raises(ConfigurationError, match="non-empty title"):
+            ScenarioPreset(
+                name="blank",
+                title="  ",
+                description="x",
+                scenario=Scenario(),
+                energy_budget=0.06,
+                max_delay=6.0,
+            )
+
+    def test_non_positive_requirements_rejected(self):
+        with pytest.raises(ConfigurationError, match="positive"):
+            ScenarioPreset(
+                name="bad-budget",
+                title="t",
+                description="d",
+                scenario=Scenario(),
+                energy_budget=0.0,
+                max_delay=6.0,
+            )

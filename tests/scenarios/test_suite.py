@@ -1,0 +1,190 @@
+"""ScenarioSuite: (scenario × protocol) batches through the runtime layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.runtime import SolveCache, build_runner
+from repro.scenario import Scenario
+from repro.scenarios import (
+    ScenarioPreset,
+    ScenarioSuite,
+    run_scenario_suite,
+    scenario_preset,
+)
+
+#: Coarse solver grid: the suite tests exercise plumbing, not precision.
+GRID = 25
+
+
+def _tiny_preset(name: str = "tiny", **overrides) -> ScenarioPreset:
+    defaults = {
+        "name": name,
+        "title": "Tiny test scenario",
+        "description": "Three shallow rings for fast suite tests.",
+        "scenario": Scenario(sampling_rate=1.0 / 600.0),
+        "energy_budget": 0.06,
+        "max_delay": 6.0,
+    }
+    defaults.update(overrides)
+    return ScenarioPreset(**defaults)
+
+
+class TestConstruction:
+    def test_defaults_cover_all_pairs(self):
+        suite = ScenarioSuite()
+        assert suite.pair_count == len(suite.presets) * len(suite.protocols)
+        assert len(suite.presets) >= 6
+        assert "xmac" in suite.protocols
+
+    def test_accepts_names_and_instances(self):
+        suite = ScenarioSuite(
+            scenarios=["paper-default", _tiny_preset()], protocols=("xmac",)
+        )
+        assert [preset.name for preset in suite.presets] == ["paper-default", "tiny"]
+
+    def test_protocol_aliases_canonicalized(self):
+        suite = ScenarioSuite(scenarios=("paper-default",), protocols=("X-MAC",))
+        assert suite.protocols == ["xmac"]
+
+    def test_rejects_empty_scenarios(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioSuite(scenarios=())
+
+    def test_rejects_duplicate_scenarios(self):
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            ScenarioSuite(scenarios=("paper-default", "paper-default"))
+
+    def test_rejects_unknown_scenario(self):
+        with pytest.raises(ConfigurationError, match="known presets"):
+            ScenarioSuite(scenarios=("no-such-scenario",))
+
+    def test_rejects_non_scenario_objects(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioSuite(scenarios=(42,))  # type: ignore[arg-type]
+
+
+class TestRun:
+    def test_runs_all_pairs_and_reports_cells(self):
+        result = run_scenario_suite(
+            scenarios=(_tiny_preset(),),
+            protocols=("xmac", "dmac"),
+            grid_points_per_dimension=GRID,
+        )
+        assert [(cell.scenario, cell.protocol) for cell in result.cells] == [
+            ("tiny", "xmac"),
+            ("tiny", "dmac"),
+        ]
+        assert all(cell.feasible for cell in result.cells)
+        assert result.solution("tiny", "xmac").protocol == "X-MAC"
+        assert result.solution("tiny", "lmac") is None  # not part of this run
+        rows = result.rows()
+        assert len(rows) == 2 and rows[0]["feasible"] is True
+
+    def test_mixed_feasible_infeasible_rows_share_columns_and_render(self):
+        """Feasible and infeasible cells must produce printable uniform rows."""
+        from repro.analysis.reporting import format_table
+
+        result = run_scenario_suite(
+            scenarios=(_tiny_preset(name="impossible", max_delay=1e-6), _tiny_preset()),
+            protocols=("xmac",),
+            grid_points_per_dimension=GRID,
+        )
+        rows = result.rows()
+        assert len(result.feasible_cells) == 1 and len(result.infeasible_cells) == 1
+        columns = list(rows[0])
+        assert all(list(row) == columns for row in rows)
+        rendered = format_table(rows)  # must not raise on the mixed batch
+        assert "impossible" in rendered and "tiny" in rendered
+
+    def test_infeasible_scenario_does_not_poison_the_batch(self):
+        """An impossible delay bound in one scenario leaves the others intact."""
+        impossible = _tiny_preset(name="impossible", max_delay=1e-6)
+        feasible = _tiny_preset(name="feasible")
+        result = run_scenario_suite(
+            scenarios=(impossible, feasible),
+            protocols=("xmac",),
+            grid_points_per_dimension=GRID,
+        )
+        by_scenario = result.by_scenario()
+        assert not by_scenario["impossible"][0].feasible
+        assert "delay" in by_scenario["impossible"][0].error
+        assert by_scenario["feasible"][0].feasible
+        assert len(result.infeasible_cells) == 1
+        assert len(result.feasible_cells) == 1
+
+    def test_unconstructible_model_recorded_as_infeasible_cell(self):
+        """A scenario that empties a protocol's parameter space is data too."""
+        # Density 1100 pushes LMAC's minimum slot count past the 10 s drift
+        # bound: the maximum slot falls below the minimum slot and the
+        # parameter space is empty, so the model cannot be used at all.
+        broken = _tiny_preset(
+            name="lmac-hostile",
+            scenario=Scenario(sampling_rate=1.0 / 600.0).with_topology(density=1100),
+        )
+        result = run_scenario_suite(
+            scenarios=(broken,),
+            protocols=("xmac", "lmac"),
+            grid_points_per_dimension=GRID,
+        )
+        cells = {cell.protocol: cell for cell in result.cells}
+        assert cells["xmac"].feasible
+        assert not cells["lmac"].feasible
+        assert "model construction failed" in cells["lmac"].error
+
+    def test_requirement_overrides_apply_to_every_preset(self):
+        preset = _tiny_preset()
+        result = run_scenario_suite(
+            scenarios=(preset,),
+            protocols=("xmac",),
+            grid_points_per_dimension=GRID,
+            max_delay=2.0,
+        )
+        solution = result.cells[0].solution
+        assert solution.max_delay == 2.0
+        assert solution.energy_budget == preset.energy_budget
+
+    def test_process_pool_run_is_bit_identical_to_serial(self):
+        scenarios = ("paper-default", "bursty")
+        protocols = ("xmac", "dmac")
+        serial = run_scenario_suite(
+            scenarios=scenarios,
+            protocols=protocols,
+            runner=build_runner(workers=1, use_cache=False),
+            grid_points_per_dimension=GRID,
+        )
+        parallel = run_scenario_suite(
+            scenarios=scenarios,
+            protocols=protocols,
+            runner=build_runner(workers=2, use_cache=False),
+            grid_points_per_dimension=GRID,
+        )
+        assert serial.rows() == parallel.rows()
+
+    def test_suite_reuses_the_solve_cache(self):
+        cache = SolveCache()
+        kwargs = {
+            "scenarios": ("paper-default",),
+            "protocols": ("xmac",),
+            "grid_points_per_dimension": GRID,
+        }
+        cold = run_scenario_suite(runner=build_runner(workers=1, cache=cache), **kwargs)
+        warm_runner = build_runner(workers=1, cache=cache)
+        warm = run_scenario_suite(runner=warm_runner, **kwargs)
+        assert warm.cells[0].from_cache
+        assert warm_runner.cache_stats().hits == 1
+        assert cold.rows() == warm.rows()
+
+    def test_suggested_requirements_feasible_for_paper_protocols(self):
+        """Every built-in preset solves for the paper's three protocols."""
+        result = run_scenario_suite(
+            protocols=("xmac", "dmac", "lmac"),
+            grid_points_per_dimension=20,
+            runner=build_runner(workers=0, use_cache=False),
+        )
+        infeasible = [
+            f"{cell.scenario}/{cell.protocol}" for cell in result.infeasible_cells
+        ]
+        assert not infeasible, f"infeasible pairs: {infeasible}"
+        assert len(result.cells) == len(ScenarioSuite().presets) * 3
