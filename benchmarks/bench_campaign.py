@@ -1,0 +1,54 @@
+"""Monte-Carlo validation campaign benchmark.
+
+Times a small campaign (2 scenarios × 2 protocols × 3 replications) serial
+vs process-pool and asserts the runtime's core guarantee extended to the
+simulation workload: the JSON artifact of a parallel campaign is
+byte-identical to a serial one.  Also asserts the campaign's substantive
+claim — every feasible cell agrees with its analytical prediction within
+tolerance at the Nash bargaining point.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import BENCH_GRID, BENCH_WORKERS, assert_speedup_if_required, print_series
+from repro.runtime import build_runner
+from repro.validation import CampaignSpec, campaign_to_json, run_campaign
+
+SPEC = CampaignSpec(
+    scenarios=("paper-default", "high-rate"),
+    protocols=("xmac", "lmac"),
+    replications=3,
+    horizon=800.0,
+    grid_points_per_dimension=min(BENCH_GRID, 40),
+)
+
+
+def test_campaign_parallel_equals_serial(benchmark):
+    serial_started = time.perf_counter()
+    serial = run_campaign(SPEC, build_runner(workers=1, use_cache=False))
+    serial_seconds = time.perf_counter() - serial_started
+
+    parallel_started = time.perf_counter()
+    parallel = benchmark.pedantic(
+        lambda: run_campaign(SPEC, build_runner(workers=BENCH_WORKERS, use_cache=False)),
+        rounds=1,
+        iterations=1,
+    )
+    parallel_seconds = time.perf_counter() - parallel_started
+
+    rows = serial.rows()
+    print_series(
+        f"Campaign {len(SPEC.scenarios)}×{len(SPEC.protocols)}×{SPEC.replications} "
+        f"— serial {serial_seconds:.2f}s vs process[{BENCH_WORKERS}] "
+        f"{parallel_seconds:.2f}s",
+        rows,
+    )
+
+    # The artifact, not just the rows: byte identity across worker counts.
+    assert campaign_to_json(serial) == campaign_to_json(parallel)
+    # Every feasible cell validates the analytical model within tolerance.
+    assert serial.feasible_cells
+    assert serial.passed, [cell.scenario + "/" + cell.protocol for cell in serial.failed_cells]
+    assert_speedup_if_required(serial_seconds / parallel_seconds)

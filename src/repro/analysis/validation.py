@@ -1,9 +1,15 @@
-"""Analytical-model vs simulation validation.
+"""Analytical-model vs simulation validation (single-configuration spot check).
 
 The brief announcement justifies its framework with closed-form models; this
 module quantifies how well those models agree with the packet-level
 simulator on the same configuration, which is the reproduction's substitute
 for the missing experimental evaluation.
+
+This is the one-seed, one-configuration check behind
+``repro-mac-game validate``.  For replicated, statistically quantified
+campaigns over the whole scenario suite — Welford aggregates, Student-t
+confidence intervals, per-metric tolerance gates and a versioned artifact —
+see :mod:`repro.validation` (``repro-mac-game validate-campaign``).
 """
 
 from __future__ import annotations
@@ -82,6 +88,19 @@ def validate_protocol(
     The comparison uses the mean ring-1 node power (the analytical bottleneck
     quantity) and the mean end-to-end delay of packets generated in the
     outermost ring (the analytical ``L``).
+
+    Args:
+        model: Analytical protocol model (defines scenario and timing).
+        params: Parameter vector to validate at (mapping or array).
+        config: Simulation configuration; defaults to a 2000-second run.
+
+    Returns:
+        A :class:`ValidationReport` comparing prediction and measurement.
+
+    Raises:
+        SimulationError: if the protocol has no simulated behaviour or the
+            run delivers no packet (use :mod:`repro.validation` campaigns to
+            record zero delivery as data instead).
     """
     simulation: SimulationResult = simulate_protocol(model, params, config)
     params_dict = model.coerce(params)

@@ -9,6 +9,7 @@
 * ``suite``     — run the scenario suite: every (scenario × protocol) game,
 * ``scenarios`` — list the scenario presets of the library,
 * ``validate``  — compare the analytical model against the simulator,
+* ``validate-campaign`` — replicated Monte-Carlo validation over the suite,
 * ``protocols`` — list the available protocol models.
 """
 
@@ -33,6 +34,7 @@ from repro.runtime import BatchRunner, build_runner
 from repro.scenario import Scenario
 from repro.scenarios import ScenarioSuite, available_scenarios, scenario_presets
 from repro.simulation.runner import SimulationConfig
+from repro.validation import CampaignSpec, run_campaign, write_campaign
 
 
 def _build_scenario(args: argparse.Namespace) -> Scenario:
@@ -215,6 +217,39 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_validate_campaign(args: argparse.Namespace) -> int:
+    runner = _build_runner(args)
+    spec = CampaignSpec(
+        scenarios=tuple(args.scenarios or ()),
+        protocols=tuple(args.protocols or ()),
+        replications=args.replications,
+        base_seed=args.base_seed,
+        horizon=args.horizon,
+        confidence=args.confidence,
+        grid_points_per_dimension=args.grid_points,
+    )
+    print(
+        f"# validation campaign: {len(spec.scenarios)} scenarios × "
+        f"{len(spec.protocols)} protocols × {spec.replications} replications "
+        f"= {spec.cell_count * spec.replications} simulations"
+    )
+    result = run_campaign(spec, runner)
+    rows = result.rows()
+    print(format_table(rows))
+    if args.out:
+        path = write_campaign(result, args.out)
+        print(f"# wrote {path}")
+    if args.csv:
+        path = write_csv(rows, args.csv)
+        print(f"# wrote {path}")
+    failed = result.failed_cells
+    if failed:
+        pairs = ", ".join(f"{cell.scenario}/{cell.protocol}" for cell in failed)
+        print(f"# cells with failed checks: {pairs}")
+    _print_runtime_summary(runner)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -308,6 +343,63 @@ def build_parser() -> argparse.ArgumentParser:
     validate_parser.add_argument("--seed", type=int, default=1)
     _add_scenario_arguments(validate_parser)
     validate_parser.set_defaults(handler=_cmd_validate)
+
+    campaign_parser = subparsers.add_parser(
+        "validate-campaign",
+        help="replicated Monte-Carlo model-vs-simulation campaign over the scenario suite",
+    )
+    campaign_parser.add_argument(
+        "--scenarios",
+        nargs="+",
+        default=None,
+        metavar="NAME",
+        help=f"scenario presets to cover (default: all — {', '.join(available_scenarios())})",
+    )
+    campaign_parser.add_argument(
+        "--protocols",
+        nargs="+",
+        default=None,
+        metavar="NAME",
+        help="protocols to cover (default: all with a simulated behaviour)",
+    )
+    campaign_parser.add_argument(
+        "--replications",
+        type=int,
+        default=5,
+        help="independently seeded simulation runs per (scenario, protocol) cell",
+    )
+    campaign_parser.add_argument(
+        "--base-seed",
+        type=int,
+        default=1,
+        help="base seed every replication seed is derived from",
+    )
+    campaign_parser.add_argument(
+        "--horizon",
+        type=float,
+        default=1500.0,
+        help="simulated duration of each replication in seconds",
+    )
+    campaign_parser.add_argument(
+        "--confidence",
+        type=float,
+        default=0.95,
+        help="two-sided confidence level of the Student-t intervals",
+    )
+    campaign_parser.add_argument(
+        "--grid-points",
+        type=int,
+        default=40,
+        help="grid resolution per parameter dimension for the hybrid solver",
+    )
+    campaign_parser.add_argument(
+        "--out",
+        default=None,
+        help="write the versioned JSON campaign artifact to this path",
+    )
+    campaign_parser.add_argument("--csv", default=None, help="optional CSV output path")
+    _add_runtime_arguments(campaign_parser)
+    campaign_parser.set_defaults(handler=_cmd_validate_campaign)
 
     return parser
 

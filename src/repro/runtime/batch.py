@@ -123,6 +123,9 @@ class BatchRunner:
             granularity and tail-latency balance).
         progress: Optional ``progress(done, total)`` callback, invoked after
             the cache pass and after every finished chunk.
+
+    Raises:
+        ValueError: if ``chunk_size`` is given but smaller than 1.
     """
 
     def __init__(
@@ -178,7 +181,17 @@ class BatchRunner:
         return [list(payloads[i : i + size]) for i in range(0, len(payloads), size)]
 
     def run(self, tasks: Sequence[SolveTask]) -> List[TaskOutcome]:
-        """Execute every task and return outcomes in submission order."""
+        """Execute every task and return outcomes in submission order.
+
+        Args:
+            tasks: The independent solve tasks of one batch.
+
+        Returns:
+            One :class:`TaskOutcome` per task, ordered by submission index.
+            Per-task failures are *captured* in the outcome's ``error``
+            field, never raised — callers decide which errors to swallow
+            (sweeps treat infeasibility as data) and which to re-raise.
+        """
         tasks = list(tasks)
         total = len(tasks)
         outcomes: List[Optional[TaskOutcome]] = [None] * total
@@ -277,6 +290,24 @@ def build_runner(
     ``workers`` picks the executor (1 → serial, N → process pool, ``None``/0
     → one per CPU), ``use_cache`` toggles the process-wide solve cache, and
     ``cache`` substitutes an explicit cache instance.
+
+    Args:
+        workers: Worker count handed to
+            :func:`~repro.runtime.executor.resolve_executor`.
+        mode: Executor mode (``"auto"``, ``"serial"``, ``"thread"``,
+            ``"process"``).
+        use_cache: Whether solves are memoized; ``False`` forces every solve
+            to be recomputed.
+        cache: Explicit cache instance (defaults to the process-wide cache
+            when ``use_cache`` is true).
+        chunk_size: Tasks per dispatched chunk (``None`` auto-sizes).
+        progress: Optional ``progress(done, total)`` callback.
+
+    Returns:
+        The assembled :class:`BatchRunner`.
+
+    Raises:
+        ConfigurationError: if the executor mode or worker count is invalid.
     """
     if cache is None and use_cache:
         cache = default_cache()

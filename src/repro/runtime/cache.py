@@ -36,6 +36,13 @@ def freeze(value: Any) -> Any:
     Handles the types that appear in solve identities: scalars, strings,
     mappings (order-insensitive), sequences, numpy arrays, dataclasses, and
     plain objects (via their ``__dict__``).
+
+    Args:
+        value: The value to freeze.
+
+    Returns:
+        A hashable value: scalars pass through; containers become tagged
+        tuples; anything unrecognized falls back to its ``repr``.
     """
     if value is None or isinstance(value, (bool, int, float, str, bytes)):
         return value
@@ -79,6 +86,15 @@ def model_fingerprint(model: DutyCycledMACModel) -> Any:
     Two model instances of the same class, bound to equal scenarios with
     equal tuning parameters, produce the same fingerprint — which is exactly
     the condition under which their solves are interchangeable.
+
+    Args:
+        model: The protocol model to fingerprint.
+
+    Returns:
+        A hashable tuple of the model's qualified class name, protocol name
+        and frozen non-memoized instance state (lazy ``cached_property``
+        memos are excluded, so a solved model fingerprints identically to a
+        fresh one).
     """
     lazy = _lazy_attribute_names(type(model))
     state = {name: value for name, value in vars(model).items() if name not in lazy}
@@ -94,7 +110,17 @@ def solve_key(
     requirements: ApplicationRequirements,
     solver_options: Mapping[str, object],
 ) -> CacheKey:
-    """The full identity of one game solve (the cache key)."""
+    """The full identity of one game solve (the cache key).
+
+    Args:
+        model: Protocol model of the solve.
+        requirements: Application requirements of the solve.
+        solver_options: Options forwarded to the solver backend.
+
+    Returns:
+        A hashable key; two solves with equal keys are guaranteed to produce
+        bit-identical solutions (the game is deterministic).
+    """
     return (
         "solve",
         model_fingerprint(model),

@@ -65,9 +65,23 @@ class ExecutorPolicy(abc.ABC):
     ) -> List[Any]:
         """Apply ``fn`` to every item and return results in submission order.
 
-        Exceptions raised by ``fn`` propagate to the caller (per-task error
-        *capture* is the :class:`~repro.runtime.batch.BatchRunner`'s job, not
-        the executor's).
+        Args:
+            fn: The function applied to each item; under the process policy
+                it must be picklable (module-level).
+            items: The work items, consumed in submission order.
+            on_result: Optional ``on_result(index, result)`` callback invoked
+                as each item completes (completion order is arbitrary under
+                parallel policies).
+
+        Returns:
+            One result per item, ordered by submission index regardless of
+            completion order.
+
+        Raises:
+            Exception: whatever ``fn`` raises propagates to the caller
+                (per-task error *capture* is the
+                :class:`~repro.runtime.batch.BatchRunner`'s job, not the
+                executor's).
         """
 
     def describe(self) -> str:
@@ -176,6 +190,13 @@ def resolve_executor(workers: Optional[int] = None, mode: str = "auto") -> Execu
             per CPU"; ``1`` selects the serial policy under ``mode="auto"``.
         mode: ``"serial"``, ``"thread"``, ``"process"``, or ``"auto"``
             (serial for one worker, process pool otherwise).
+
+    Returns:
+        The resolved :class:`ExecutorPolicy` instance.
+
+    Raises:
+        ConfigurationError: if ``mode`` is not one of :data:`EXECUTOR_MODES`
+            or ``workers`` is negative.
     """
     if mode not in EXECUTOR_MODES:
         raise ConfigurationError(

@@ -37,7 +37,22 @@ class Channel:
     # ------------------------------------------------------------------ #
 
     def free_at(self, node: int, now: float) -> float:
-        """Earliest time at or after ``now`` when ``node`` sees an idle medium."""
+        """Earliest time at or after ``now`` when ``node`` sees an idle medium.
+
+        A busy answer is counted as a carrier-sense deferral (the caller is
+        expected to defer its transmission to the returned time).
+
+        Args:
+            node: The sensing node's id.
+            now: Current simulation time.
+
+        Returns:
+            ``now`` when the medium is idle, otherwise the end of the
+            current reservation.
+
+        Raises:
+            SimulationError: if ``node`` is not part of the deployment.
+        """
         busy_until = self._busy_until.get(node)
         if busy_until is None:
             raise SimulationError(f"unknown node {node!r}")
@@ -47,7 +62,15 @@ class Channel:
         return now
 
     def is_busy(self, node: int, now: float) -> bool:
-        """Whether the medium around ``node`` is busy at ``now``."""
+        """Whether the medium around ``node`` is busy at ``now``.
+
+        Args:
+            node: The sensing node's id.
+            now: Current simulation time.
+
+        Raises:
+            SimulationError: if ``node`` is not part of the deployment.
+        """
         busy_until = self._busy_until.get(node)
         if busy_until is None:
             raise SimulationError(f"unknown node {node!r}")
@@ -62,6 +85,14 @@ class Channel:
 
         The reservation covers the sender and every unit-disk neighbour of
         the sender (the nodes that would sense its carrier).
+
+        Args:
+            sender: The transmitting node's id.
+            start: Reservation start time.
+            duration: Reservation length in seconds (non-negative).
+
+        Raises:
+            SimulationError: if ``duration`` is negative.
         """
         if duration < 0:
             raise SimulationError(f"negative reservation duration {duration!r}")

@@ -78,6 +78,16 @@ class EnergyAccount:
 
         Sleep energy for the time not covered by recorded intervals is added
         automatically, so callers only record active periods.
+
+        Args:
+            horizon: Total duration in seconds the energy is accounted over.
+
+        Returns:
+            Joules consumed across all recorded intervals plus residual
+            sleep.
+
+        Raises:
+            SimulationError: if ``horizon`` is not positive.
         """
         if horizon <= 0:
             raise SimulationError(f"horizon must be positive, got {horizon!r}")
@@ -89,11 +99,25 @@ class EnergyAccount:
         return active_energy + residual_sleep * self.radio.power_sleep
 
     def average_power(self, horizon: float) -> float:
-        """Average power (J/s) over the horizon — comparable to ``E(X)``."""
+        """Average power (J/s) over the horizon — comparable to ``E(X)``.
+
+        Args:
+            horizon: Total duration in seconds.
+
+        Raises:
+            SimulationError: if ``horizon`` is not positive.
+        """
         return self.total_energy(horizon) / horizon
 
     def duty_cycle(self, horizon: float) -> float:
-        """Fraction of the horizon spent with the radio on."""
+        """Fraction of the horizon spent with the radio on.
+
+        Args:
+            horizon: Total duration in seconds.
+
+        Raises:
+            SimulationError: if ``horizon`` is not positive.
+        """
         if horizon <= 0:
             raise SimulationError(f"horizon must be positive, got {horizon!r}")
         return min(1.0, self.total_active_time() / horizon)

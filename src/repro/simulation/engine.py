@@ -65,7 +65,16 @@ class EventQueue:
         return sum(1 for event in self._heap if not event.cancelled)
 
     def push(self, time: float, action: EventAction, label: str = "") -> EventHandle:
-        """Schedule ``action`` at absolute ``time``."""
+        """Schedule ``action`` at absolute ``time``.
+
+        Args:
+            time: Absolute firing time in seconds.
+            action: Zero-argument callback executed at the firing time.
+            label: Free-form label used in error messages and traces.
+
+        Returns:
+            An :class:`EventHandle` that can cancel the event.
+        """
         event = _ScheduledEvent(time=float(time), sequence=next(self._counter), action=action, label=label)
         heapq.heappush(self._heap, event)
         return EventHandle(event)
@@ -120,7 +129,20 @@ class Simulator:
         return self._processed
 
     def schedule_at(self, time: float, action: EventAction, label: str = "") -> EventHandle:
-        """Schedule an event at an absolute time (must not be in the past)."""
+        """Schedule an event at an absolute time (must not be in the past).
+
+        Args:
+            time: Absolute firing time; clamped up to ``now`` within a
+                1e-12 s tolerance.
+            action: Zero-argument callback executed at the firing time.
+            label: Free-form label used in error messages and traces.
+
+        Returns:
+            An :class:`EventHandle` that can cancel the event.
+
+        Raises:
+            SimulationError: if ``time`` lies in the past.
+        """
         if time < self._now - 1e-12:
             raise SimulationError(
                 f"cannot schedule event {label!r} at {time:.9f} before now ({self._now:.9f})"
@@ -128,7 +150,19 @@ class Simulator:
         return self._queue.push(max(time, self._now), action, label)
 
     def schedule_in(self, delay: float, action: EventAction, label: str = "") -> EventHandle:
-        """Schedule an event ``delay`` seconds from now."""
+        """Schedule an event ``delay`` seconds from now.
+
+        Args:
+            delay: Non-negative delay in seconds.
+            action: Zero-argument callback executed at the firing time.
+            label: Free-form label used in error messages and traces.
+
+        Returns:
+            An :class:`EventHandle` that can cancel the event.
+
+        Raises:
+            SimulationError: if ``delay`` is negative.
+        """
         if delay < 0:
             raise SimulationError(f"negative delay {delay!r} for event {label!r}")
         return self._queue.push(self._now + delay, action, label)
@@ -143,6 +177,15 @@ class Simulator:
         Events scheduled beyond ``end_time`` remain in the queue; the clock
         is left at ``end_time`` so post-run bookkeeping (e.g. closing energy
         accounts) sees the full horizon.
+
+        Args:
+            end_time: Absolute time (seconds) up to which events fire.
+
+        Raises:
+            SimulationError: if ``end_time`` is before the current time, the
+                run loop is re-entered from an event action, or the event
+                budget is exceeded (always a bug such as a zero-length timer
+                loop).
         """
         if end_time < self._now:
             raise SimulationError(

@@ -31,6 +31,11 @@ def next_occurrence(now: float, period: float, offset: float) -> float:
         period: Schedule period (must be positive).
         offset: Phase offset of the schedule.
 
+    Returns:
+        The earliest schedule occurrence at or after ``now`` (with a small
+        tolerance so an occurrence ``now`` sits exactly on is returned, not
+        skipped).
+
     Raises:
         SimulationError: if the period is not positive.
     """
@@ -114,7 +119,14 @@ class MACSimBehaviour(abc.ABC):
         return self._rng
 
     def backoff(self, scale: float) -> float:
-        """A small uniform random backoff in ``[0, scale]`` seconds."""
+        """A small uniform random backoff in ``[0, scale]`` seconds.
+
+        Args:
+            scale: Upper bound of the backoff; non-positive scales yield 0.
+
+        Returns:
+            The drawn backoff, consuming one draw from the behaviour's RNG.
+        """
         if scale <= 0:
             return 0.0
         return float(self._rng.uniform(0.0, scale))

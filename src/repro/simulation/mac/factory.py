@@ -24,12 +24,37 @@ _BEHAVIOURS: dict[Type[DutyCycledMACModel], Type[MACSimBehaviour]] = {
 }
 
 
+def has_behaviour_for(model_class: Type[DutyCycledMACModel]) -> bool:
+    """Whether a simulated behaviour is registered for a model class.
+
+    Args:
+        model_class: The analytical model class to look up (subclasses of a
+            registered class count, matching :func:`behaviour_for_model`).
+
+    Returns:
+        True when :func:`behaviour_for_model` would succeed for instances
+        of ``model_class``.
+    """
+    return any(
+        isinstance(model_class, type) and issubclass(model_class, registered)
+        for registered in _BEHAVIOURS
+    )
+
+
 def behaviour_for_model(
     model: DutyCycledMACModel,
     params: Mapping[str, float] | Sequence[float] | np.ndarray,
     rng: np.random.Generator,
 ) -> MACSimBehaviour:
     """Instantiate the simulated behaviour matching an analytical model.
+
+    Args:
+        model: The analytical protocol model.
+        params: Concrete parameter vector to simulate (mapping or array).
+        rng: Random generator for phases and backoffs.
+
+    Returns:
+        The behaviour instance bound to ``model``'s configuration.
 
     Raises:
         SimulationError: if the model has no registered simulated
@@ -47,7 +72,16 @@ def behaviour_for_model(
 def register_behaviour(
     model_class: Type[DutyCycledMACModel], behaviour_class: Type[MACSimBehaviour]
 ) -> None:
-    """Register a simulated behaviour for a user-defined protocol model."""
+    """Register a simulated behaviour for a user-defined protocol model.
+
+    Args:
+        model_class: The analytical model class the behaviour simulates.
+        behaviour_class: The behaviour implementation.
+
+    Raises:
+        SimulationError: if either argument is not a subclass of the
+            expected base class.
+    """
     if not issubclass(model_class, DutyCycledMACModel):
         raise SimulationError("model_class must derive from DutyCycledMACModel")
     if not issubclass(behaviour_class, MACSimBehaviour):

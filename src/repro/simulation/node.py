@@ -62,9 +62,15 @@ class SensorNode:
     def enqueue(self, packet: DataPacket) -> bool:
         """Add a packet to the forwarding queue.
 
+        Args:
+            packet: The packet to queue for forwarding.
+
         Returns:
             True if the packet was accepted, False if it was dropped because
-            the queue is full.
+            the queue is full (the drop is counted on the node).
+
+        Raises:
+            SimulationError: if called on the sink, which never forwards.
         """
         if self.is_sink:
             raise SimulationError("the sink does not queue packets for forwarding")
@@ -80,7 +86,15 @@ class SensorNode:
         return self.queue[0] if self.queue else None
 
     def pop_head(self) -> DataPacket:
-        """Remove and return the head-of-line packet."""
+        """Remove and return the head-of-line packet.
+
+        Returns:
+            The packet that was at the head of the queue (counted as
+            forwarded).
+
+        Raises:
+            SimulationError: if the queue is empty.
+        """
         if not self.queue:
             raise SimulationError(f"node {self.node_id} has an empty queue")
         self.forwarded += 1

@@ -1,0 +1,103 @@
+"""Versioned persistence of campaign results (JSON artifact + CSV rows).
+
+The JSON artifact is the campaign's canonical on-disk form: schema-tagged,
+version-checked on load, serialized with sorted keys and a fixed layout so
+the bytes are a function of the campaign's *content only* — two runs of the
+same spec produce identical files regardless of worker count.  The
+committed artifact under ``docs/`` is what ``docs/validation.md`` is
+generated from (see :mod:`repro.validation.report`), and CI re-runs a small
+campaign against it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+from repro.exceptions import ValidationError
+from repro.validation.campaign import CampaignResult, campaign_rows
+
+__all__ = [
+    "CAMPAIGN_SCHEMA",
+    "CAMPAIGN_SCHEMA_VERSION",
+    "campaign_rows",
+    "campaign_to_json",
+    "load_campaign_dict",
+    "write_campaign",
+]
+
+#: Schema tag every campaign artifact carries.
+CAMPAIGN_SCHEMA = "repro.validation.campaign"
+
+#: Artifact schema version this code writes and accepts.
+CAMPAIGN_SCHEMA_VERSION = 1
+
+
+def campaign_to_json(result: CampaignResult) -> str:
+    """Serialize a campaign result into its canonical JSON text.
+
+    Sorted keys, two-space indentation, trailing newline: the bytes are
+    deterministic given the campaign content, which is what the
+    serial-vs-parallel byte-identity tests compare.
+
+    Args:
+        result: The campaign result to serialize.
+
+    Returns:
+        The JSON document as a string (ending in a newline).
+    """
+    return json.dumps(result.as_dict(), indent=2, sort_keys=True) + "\n"
+
+
+def write_campaign(result: CampaignResult, path: Union[str, Path]) -> Path:
+    """Write a campaign result to ``path`` as a JSON artifact.
+
+    Args:
+        result: The campaign result to persist.
+        path: Output file path; parent directories are created.
+
+    Returns:
+        The resolved output path.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(campaign_to_json(result), encoding="utf-8")
+    return path
+
+
+def load_campaign_dict(path: Union[str, Path]) -> Dict[str, object]:
+    """Load and schema-check a campaign artifact.
+
+    Args:
+        path: Path of a JSON artifact written by :func:`write_campaign`.
+
+    Returns:
+        The artifact payload as a plain dictionary (the report renderer and
+        the CSV exporter consume this form directly).
+
+    Raises:
+        ValidationError: if the file is missing, is not valid JSON, or does
+            not carry the expected schema tag/version.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise ValidationError(f"campaign artifact not found: {path}")
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as error:
+        raise ValidationError(f"campaign artifact {path} is not valid JSON: {error}")
+    if not isinstance(payload, dict) or payload.get("schema") != CAMPAIGN_SCHEMA:
+        raise ValidationError(
+            f"{path} is not a campaign artifact (missing schema tag "
+            f"{CAMPAIGN_SCHEMA!r})"
+        )
+    version = payload.get("schema_version")
+    if version != CAMPAIGN_SCHEMA_VERSION:
+        raise ValidationError(
+            f"{path} has campaign schema version {version!r}; "
+            f"this code reads version {CAMPAIGN_SCHEMA_VERSION}"
+        )
+    return payload
+
+

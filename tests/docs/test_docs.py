@@ -33,7 +33,14 @@ check_docs = _load_checker()
 class TestRepositoryDocs:
     def test_expected_files_are_covered(self):
         names = {path.name for path in check_docs.documentation_files(REPO_ROOT)}
-        assert {"README.md", "architecture.md", "paper_map.md", "scenarios.md"} <= names
+        assert {
+            "README.md",
+            "architecture.md",
+            "paper_map.md",
+            "scenarios.md",
+            "simulation.md",
+            "validation.md",
+        } <= names
 
     def test_all_docs_clean(self):
         problems = check_docs.run_checks(REPO_ROOT)
@@ -52,6 +59,20 @@ class TestRepositoryDocs:
         for preset in scenario_presets():
             assert f"## {preset.name}" in on_disk
             assert preset.title in on_disk
+
+    def test_validation_md_is_fresh(self):
+        from repro.validation.artifacts import load_campaign_dict
+        from repro.validation.report import render_validation_markdown
+
+        payload = load_campaign_dict(REPO_ROOT / "docs" / "validation_campaign.json")
+        on_disk = (REPO_ROOT / "docs" / "validation.md").read_text(encoding="utf-8")
+        assert on_disk == render_validation_markdown(payload), (
+            "docs/validation.md is stale; regenerate with "
+            "`PYTHONPATH=src python -m repro.validation.report`"
+        )
+
+    def test_generated_checker_covers_repo_pages(self):
+        assert check_docs.check_generated(REPO_ROOT) == []
 
 
 class TestCheckerBehaviour:
@@ -108,6 +129,36 @@ class TestCheckerBehaviour:
             "```bash\n>>> not python\n```\n",
         )
         assert check_docs.check_doctests(page, tmp_path) == []
+
+    def test_generated_check_skips_synthetic_trees(self, tmp_path):
+        # Temporary doc trees (like the ones above) carry no generated
+        # pages; the freshness pass must not reach outside them.
+        self._write(tmp_path, "docs/page.md", "# fine\n")
+        assert check_docs.check_generated(tmp_path) == []
+
+    def test_stale_validation_page_detected(self, tmp_path):
+        import shutil
+
+        root = check_docs.repo_root()
+        (tmp_path / "docs").mkdir()
+        shutil.copy(
+            root / "docs" / "validation_campaign.json",
+            tmp_path / "docs" / "validation_campaign.json",
+        )
+        self._write(tmp_path, "docs/validation.md", "# stale\n")
+        problems = check_docs.check_generated(tmp_path)
+        assert len(problems) == 1 and "not regenerable" in problems[0]
+
+    def test_validation_page_without_artifact_detected(self, tmp_path):
+        self._write(tmp_path, "docs/validation.md", "# orphan\n")
+        problems = check_docs.check_generated(tmp_path)
+        assert len(problems) == 1 and "missing" in problems[0]
+
+    def test_corrupt_artifact_reported_not_raised(self, tmp_path):
+        self._write(tmp_path, "docs/validation.md", "# page\n")
+        self._write(tmp_path, "docs/validation_campaign.json", "{not json")
+        problems = check_docs.check_generated(tmp_path)
+        assert len(problems) == 1 and "unreadable campaign artifact" in problems[0]
 
     def test_github_slugging_matches_readme_style(self):
         slug = check_docs.github_slug("Parallel runtime: `--workers` and `--no-cache`")

@@ -14,6 +14,10 @@ Checks, over ``README.md`` and ``docs/*.md``:
 2. **Doctests pass** — every fenced ```` ```python ```` block containing
    interpreter examples (``>>>``) is executed with :mod:`doctest`, exactly
    as ``python -m doctest`` would run a text file.
+3. **Generated pages are fresh** — ``docs/scenarios.md`` matches the
+   rendering of the scenario registry, and ``docs/validation.md``
+   regenerates byte-identically from the committed campaign artifact
+   ``docs/validation_campaign.json``.
 
 Exit status 0 when everything passes, 1 otherwise (with one line per
 problem).
@@ -128,12 +132,62 @@ def check_doctests(path: Path, root: Path) -> List[str]:
     return problems
 
 
+def check_generated(root: Path) -> List[str]:
+    """Stale generated pages under ``root`` (empty when clean).
+
+    Each generated page is only checked when it exists under ``root``, so
+    the checker stays usable on synthetic documentation trees (the unit
+    tests exercise it on temporary directories).
+    """
+    problems: List[str] = []
+
+    scenarios_page = root / "docs" / "scenarios.md"
+    if scenarios_page.exists():
+        from repro.scenarios.docs import render_scenarios_markdown
+
+        if scenarios_page.read_text(encoding="utf-8") != render_scenarios_markdown():
+            problems.append(
+                f"{scenarios_page.relative_to(root)}: stale; regenerate with "
+                "`PYTHONPATH=src python -m repro.scenarios.docs`"
+            )
+
+    validation_page = root / "docs" / "validation.md"
+    if validation_page.exists():
+        artifact = root / "docs" / "validation_campaign.json"
+        if not artifact.exists():
+            problems.append(
+                f"{validation_page.relative_to(root)}: campaign artifact "
+                f"{artifact.relative_to(root)} is missing"
+            )
+        else:
+            from repro.exceptions import ValidationError
+            from repro.validation.artifacts import load_campaign_dict
+            from repro.validation.report import render_validation_markdown
+
+            try:
+                rendering = render_validation_markdown(load_campaign_dict(artifact))
+            except ValidationError as error:
+                problems.append(
+                    f"{artifact.relative_to(root)}: unreadable campaign "
+                    f"artifact — {error}"
+                )
+            else:
+                if validation_page.read_text(encoding="utf-8") != rendering:
+                    problems.append(
+                        f"{validation_page.relative_to(root)}: not regenerable from "
+                        f"{artifact.relative_to(root)}; regenerate with "
+                        "`PYTHONPATH=src python -m repro.validation.report`"
+                    )
+    return problems
+
+
 def run_checks(root: Path) -> List[str]:
     """All documentation problems under ``root`` (empty when clean)."""
     problems: List[str] = []
     for path in documentation_files(root):
         problems.extend(check_links(path, root))
         problems.extend(check_doctests(path, root))
+    problems.extend(check_generated(root))
     return problems
 
 
