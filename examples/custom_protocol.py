@@ -4,8 +4,11 @@ The framework is protocol-agnostic: anything that can express its bottleneck
 energy and end-to-end delay as functions of a tunable parameter vector can be
 dropped into the same Nash bargaining machinery.  This example defines a toy
 "Beacon-MAC" (receiver-initiated: receivers advertise their wake-ups with
-beacons, senders wait for the next beacon of their parent), registers it, and
-solves the game for it alongside X-MAC.
+beacons, senders wait for the next beacon of their parent), registers it with
+``register_protocol(..., overwrite=True)`` (safe to re-run in a notebook),
+and solves the game for it alongside X-MAC through the declarative
+experiment pipeline — the registry is what makes a user-defined name valid
+in an :class:`~repro.api.spec.ExperimentSpec`'s ``protocols`` field.
 
 Run with::
 
@@ -16,12 +19,11 @@ from __future__ import annotations
 
 from functools import cached_property
 
-from repro import ApplicationRequirements, EnergyDelayGame
 from repro.analysis.reporting import format_table
+from repro.api import ExperimentSpec, run
 from repro.core.parameters import Parameter, ParameterSpace
 from repro.protocols.base import DutyCycledMACModel, EnergyBreakdown
-from repro.protocols.registry import create_protocol, register_protocol, unregister_protocol
-from repro.scenario import default_scenario
+from repro.protocols.registry import register_protocol, unregister_protocol
 
 
 class BeaconMACModel(DutyCycledMACModel):
@@ -107,29 +109,34 @@ class BeaconMACModel(DutyCycledMACModel):
 
 
 def main() -> None:
-    scenario = default_scenario()
-    requirements = ApplicationRequirements(
-        energy_budget=0.06, max_delay=2.0, sampling_rate=scenario.sampling_rate
-    )
-
-    register_protocol("beaconmac", BeaconMACModel)
+    # ``overwrite=True`` makes the registration idempotent, so re-running
+    # the script (or a notebook cell) never trips over the previous run.
+    register_protocol("beaconmac", BeaconMACModel, overwrite=True)
     try:
-        rows = []
-        for name in ("xmac", "beaconmac"):
-            model = create_protocol(name, scenario)
-            solution = EnergyDelayGame(model, requirements, grid_points_per_dimension=80).solve()
-            rows.append(
-                {
-                    "protocol": model.name,
-                    "E_best [mW]": solution.energy_best * 1000.0,
-                    "E_worst [mW]": solution.energy_worst * 1000.0,
-                    "E* [mW]": solution.energy_star * 1000.0,
-                    "L* [ms]": solution.delay_star * 1000.0,
-                    "fairness": solution.bargaining.fairness_residual,
-                }
-            )
+        # The registered name is now a valid spec protocol: one declarative
+        # description, planned and executed like any built-in workload.
+        spec = (
+            ExperimentSpec.experiment("solve", name="beacon-mac-demo")
+            .with_scenario({"depth": 5, "density": 8, "sampling_period": 300.0})
+            .with_protocols("xmac", "beaconmac")
+            .with_requirements(energy_budget=0.06, max_delay=2.0)
+            .with_solver(grid_points=80)
+        )
+        result = run(spec)
+        rows = [
+            {
+                "protocol": record.value.protocol,
+                "E_best [mW]": record.value.energy_best * 1000.0,
+                "E_worst [mW]": record.value.energy_worst * 1000.0,
+                "E* [mW]": record.value.energy_star * 1000.0,
+                "L* [ms]": record.value.delay_star * 1000.0,
+                "fairness": record.value.bargaining.fairness_residual,
+            }
+            for record in result
+        ]
         print(format_table(rows, precision=4))
         print()
+        print(f"# spec sha256: {result.provenance[:16]}…")
         print(
             "Beacon-MAC trades the sender's strobing for idle listening: the game "
             "framework prices both and finds each protocol's own fair operating point."

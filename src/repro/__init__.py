@@ -34,6 +34,9 @@ Package layout:
   protocol) suite runner.
 * :mod:`repro.analysis` — sweeps, validation and reporting.
 * :mod:`repro.experiments` — figure-by-figure reproduction drivers.
+* :mod:`repro.api` — the declarative experiment pipeline
+  (``ExperimentSpec`` → ``plan`` → ``run`` → ``ResultSet``) every workflow
+  above is also reachable through.
 """
 
 from repro.core.requirements import ApplicationRequirements
@@ -72,10 +75,26 @@ from repro.scenarios import (
     run_scenario_suite,
 )
 
-__version__ = "1.2.0"
+# Imported last: repro.api builds on every layer above.
+from repro.api import (
+    ExperimentPlan,
+    ExperimentSpec,
+    ResultSet,
+    WorkUnit,
+    plan_experiment,
+    run_experiment,
+)
+
+__version__ = "1.3.0"
 
 __all__ = [
     "ApplicationRequirements",
+    "ExperimentPlan",
+    "ExperimentSpec",
+    "ResultSet",
+    "WorkUnit",
+    "plan_experiment",
+    "run_experiment",
     "BargainingOutcome",
     "EnergyDelayGame",
     "GameSolution",

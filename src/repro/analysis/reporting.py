@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import csv
 from pathlib import Path
-from typing import Dict, Iterable, List, Mapping, Sequence, Union
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
 from repro.core.results import GameSolution
 from repro.exceptions import ConfigurationError
@@ -18,11 +18,33 @@ Row = Mapping[str, object]
 
 
 def solutions_to_rows(
-    solutions: Iterable[GameSolution], swept_name: str, swept_values: Iterable[float]
+    solutions: Iterable[Optional[GameSolution]],
+    swept_name: str,
+    swept_values: Iterable[float],
 ) -> List[Dict[str, object]]:
-    """Convert game solutions of a sweep into flat, printable rows."""
+    """Convert game solutions of a sweep into flat, printable rows.
+
+    Tolerant of heterogeneous input: a ``None`` entry (an infeasible sweep
+    position) yields a row with the swept value and blank metrics instead
+    of raising, so mixed feasible/infeasible series stay printable.
+    """
     rows: List[Dict[str, object]] = []
     for value, solution in zip(swept_values, solutions):
+        if solution is None:
+            rows.append(
+                {
+                    "protocol": "",
+                    swept_name: value,
+                    "E_best[J/s]": "",
+                    "L_worst[ms]": "",
+                    "E_worst[J/s]": "",
+                    "L_best[ms]": "",
+                    "E_star[J/s]": "",
+                    "L_star[ms]": "",
+                    "fairness": "",
+                }
+            )
+            continue
         rows.append(
             {
                 "protocol": solution.protocol,
@@ -45,20 +67,30 @@ def _format_value(value: object, precision: int) -> str:
     return str(value)
 
 
+def _union_columns(rows: Sequence[Row]) -> List[str]:
+    """All row keys, in first-appearance order."""
+    columns: Dict[str, None] = {}
+    for row in rows:
+        for key in row:
+            columns.setdefault(key, None)
+    return list(columns)
+
+
 def format_table(rows: Sequence[Row], precision: int = 5) -> str:
     """Render rows as an aligned plain-text table.
 
-    All rows must share the same keys (the first row defines the column
-    order).
+    Rows may carry heterogeneous keys (mixed-workload result sets do): the
+    columns are the union of all keys in first-appearance order, and a row
+    that lacks a column is blank-filled.
     """
     rows = list(rows)
     if not rows:
         return "(no rows)"
-    columns = list(rows[0].keys())
-    for row in rows:
-        if list(row.keys()) != columns:
-            raise ConfigurationError("all rows must have the same columns in the same order")
-    rendered = [[_format_value(row[column], precision) for column in columns] for row in rows]
+    columns = _union_columns(rows)
+    rendered = [
+        [_format_value(row.get(column, ""), precision) for column in columns]
+        for row in rows
+    ]
     widths = [
         max(len(columns[i]), max(len(line[i]) for line in rendered)) for i in range(len(columns))
     ]
@@ -77,7 +109,7 @@ def write_csv(rows: Sequence[Row], path: Union[str, Path]) -> Path:
         raise ConfigurationError("cannot write an empty CSV")
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    columns = list(rows[0].keys())
+    columns = _union_columns(rows)
     with path.open("w", newline="") as handle:
         writer = csv.DictWriter(handle, fieldnames=columns)
         writer.writeheader()

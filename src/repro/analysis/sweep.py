@@ -6,10 +6,12 @@ bound and varies the energy budget.  These helpers run such sweeps for one or
 several protocols and return structured results the reporting layer and the
 benches can print.
 
-All sweeps route through the :mod:`repro.runtime` batch runner: solves are
+All sweeps route through the shared :func:`repro.api.engine.solve_grid`
+primitive (and hence the :mod:`repro.runtime` batch runner): solves are
 memoized in the solve cache and can be fanned out across worker processes
 (``runner=build_runner(workers=4)``) with output bit-identical to a serial
-run.
+run — and bit-identical to the same sweep described declaratively as an
+:class:`~repro.api.spec.ExperimentSpec`.
 """
 
 from __future__ import annotations
@@ -21,7 +23,7 @@ from repro.core.requirements import ApplicationRequirements
 from repro.core.results import GameSolution
 from repro.exceptions import ConfigurationError
 from repro.protocols.base import DutyCycledMACModel
-from repro.runtime import BatchRunner, SolveTask, default_runner
+from repro.runtime import BatchRunner, default_runner
 
 #: The requirement attributes a sweep may vary.
 SWEEPABLE_PARAMETERS = ("max_delay", "energy_budget")
@@ -101,32 +103,41 @@ def _requirements_for(
     return base.with_energy_budget(float(value))
 
 
-def _build_tasks(
+def _build_cells(
     model: DutyCycledMACModel,
     base_requirements: ApplicationRequirements,
     parameter: str,
     values: Sequence[float],
     solver_options: Mapping[str, object],
-) -> List[SolveTask]:
+) -> List[object]:
+    from repro.api.engine import GridCell
+
     return [
-        SolveTask(
+        GridCell(
+            scenario="",
+            protocol=model.name,
             model=model,
             requirements=_requirements_for(base_requirements, parameter, value),
             solver_options=dict(solver_options),
-            label=model.name,
             tag=float(value),
         )
         for value in values
     ]
 
 
-def _collect_sweep(
+def collect_sweep(
     model: DutyCycledMACModel,
     parameter: str,
     values: Sequence[float],
     outcomes: Sequence,
 ) -> SweepResult:
-    """Fold a sweep's task outcomes (in sweep order) into a SweepResult."""
+    """Fold a sweep's solve outcomes (in sweep order) into a SweepResult.
+
+    Accepts anything outcome-shaped (``ok`` / ``infeasible`` / ``solution``
+    / ``from_cache`` / ``tag``) — both the runtime layer's
+    :class:`~repro.runtime.batch.TaskOutcome` and the api engine's
+    :class:`~repro.api.engine.GridOutcome`.
+    """
     result = SweepResult(
         protocol=model.name, swept_parameter=parameter, values=[float(v) for v in values]
     )
@@ -148,6 +159,10 @@ def _collect_sweep(
     return result
 
 
+#: Backwards-compatible alias (the folding helper used to be private).
+_collect_sweep = collect_sweep
+
+
 def _run_sweep(
     model: DutyCycledMACModel,
     base_requirements: ApplicationRequirements,
@@ -156,12 +171,14 @@ def _run_sweep(
     solver_options: Mapping[str, object],
     runner: Optional[BatchRunner] = None,
 ) -> SweepResult:
+    from repro.api.engine import solve_grid
+
     if parameter not in SWEEPABLE_PARAMETERS:
         raise ConfigurationError(f"unknown swept parameter {parameter!r}")
     runner = runner if runner is not None else default_runner()
-    tasks = _build_tasks(model, base_requirements, parameter, values, solver_options)
-    outcomes = runner.run(tasks)
-    return _collect_sweep(model, parameter, values, outcomes)
+    cells = _build_cells(model, base_requirements, parameter, values, solver_options)
+    outcomes = solve_grid(cells, runner)
+    return collect_sweep(model, parameter, values, outcomes)
 
 
 def sweep_grid(
@@ -187,6 +204,8 @@ def sweep_grid(
         runner: Batch runner; defaults to the serial cached runner.
         solver_options: Extra options forwarded to the game solver.
     """
+    from repro.api.engine import solve_grid
+
     if parameter not in SWEEPABLE_PARAMETERS:
         raise ConfigurationError(f"unknown swept parameter {parameter!r}")
     missing = [name for name in models if name not in base_requirements]
@@ -196,14 +215,16 @@ def sweep_grid(
         )
     runner = runner if runner is not None else default_runner()
     values = [float(value) for value in values]
-    tasks: List[SolveTask] = []
+    cells: List[object] = []
     for name, model in models.items():
-        tasks.extend(_build_tasks(model, base_requirements[name], parameter, values, solver_options))
-    outcomes = runner.run(tasks)
+        cells.extend(
+            _build_cells(model, base_requirements[name], parameter, values, solver_options)
+        )
+    outcomes = solve_grid(cells, runner)
     results: Dict[str, SweepResult] = {}
     for position, (name, model) in enumerate(models.items()):
         slice_ = outcomes[position * len(values) : (position + 1) * len(values)]
-        results[name] = _collect_sweep(model, parameter, values, slice_)
+        results[name] = collect_sweep(model, parameter, values, slice_)
     return results
 
 

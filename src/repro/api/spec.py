@@ -1,0 +1,620 @@
+"""Declarative experiment specifications.
+
+An :class:`ExperimentSpec` is the single programmable front door of the
+library: it *describes* an experiment — which scenario(s), which
+protocol(s), which workload kind, which requirement grid, which runtime
+policy — without running anything.  Specs are plain data: loadable from a
+dict, a JSON or TOML file, hashable (a canonical SHA-256 digest travels
+with every result as provenance), and buildable fluently::
+
+    spec = (
+        ExperimentSpec.experiment("sweep")
+        .with_protocols("xmac")
+        .with_sweep("max_delay", [2.0, 4.0, 6.0])
+        .with_runtime(workers=4)
+    )
+
+The lifecycle is ``spec → plan → run``: :func:`repro.api.plan.plan` expands
+a spec into an inspectable list of work units (count/filter/shard before
+spending compute), :func:`repro.api.engine.run` executes the plan through
+the shared :mod:`repro.runtime` batch layer and returns a
+:class:`~repro.api.results.ResultSet`.
+
+Structural validation (types, known kinds, known keys) happens at spec
+construction; *completeness* validation (a sweep spec needs a sweep axis,
+campaign protocols must be simulable) happens at plan time, so fluent
+construction can pass through intermediate states.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, fields, replace
+from pathlib import Path
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.exceptions import ConfigurationError
+
+#: Every workload kind a spec may declare, in documentation order.
+WORKLOAD_KINDS = (
+    "solve",
+    "sweep",
+    "suite",
+    "figure1",
+    "figure2",
+    "validate",
+    "campaign",
+)
+
+#: Requirement parameters a sweep axis may vary (canonical spelling).
+SWEEP_PARAMETERS = ("max_delay", "energy_budget")
+
+#: Accepted spellings of the sweep parameters (CLI uses kebab-case).
+_SWEEP_ALIASES = {
+    "max-delay": "max_delay",
+    "energy-budget": "energy_budget",
+}
+
+
+def _require_number(owner: str, name: str, value: object, positive: bool = True) -> float:
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise ConfigurationError(f"{owner}.{name} must be a number, got {value!r}")
+    if positive and value <= 0:
+        raise ConfigurationError(f"{owner}.{name} must be positive, got {value!r}")
+    return float(value)
+
+
+def _check_keys(owner: str, payload: Mapping[str, object], known: Sequence[str]) -> None:
+    unknown = sorted(set(payload) - set(known))
+    if unknown:
+        raise ConfigurationError(
+            f"unknown {owner} key(s): {', '.join(unknown)}; "
+            f"known keys: {', '.join(known)}"
+        )
+
+
+@dataclass(frozen=True)
+class RuntimePolicy:
+    """How a spec's work units are executed.
+
+    Attributes:
+        workers: Worker processes (``1`` = serial, ``0`` = one per CPU).
+        cache: Whether solves are memoized in the process-wide solve cache.
+        mode: Executor mode (``"auto"``, ``"serial"``, ``"thread"``,
+            ``"process"``).
+        chunk_size: Tasks per dispatched chunk (``None`` auto-sizes).
+    """
+
+    workers: int = 1
+    cache: bool = True
+    mode: str = "auto"
+    chunk_size: Optional[int] = None
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "RuntimePolicy":
+        _check_keys("runtime", payload, ("workers", "cache", "mode", "chunk_size"))
+        return cls(
+            workers=int(payload.get("workers", 1)),
+            cache=bool(payload.get("cache", True)),
+            mode=str(payload.get("mode", "auto")),
+            chunk_size=(
+                None
+                if payload.get("chunk_size") is None
+                else int(payload["chunk_size"])  # type: ignore[arg-type]
+            ),
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "workers": self.workers,
+            "cache": self.cache,
+            "mode": self.mode,
+            "chunk_size": self.chunk_size,
+        }
+
+
+@dataclass(frozen=True)
+class SolverSettings:
+    """Options forwarded to the hybrid game solver.
+
+    Attributes:
+        grid_points: Grid resolution per parameter dimension.
+        options: Extra keyword options forwarded verbatim to
+            :class:`~repro.core.tradeoff.EnergyDelayGame` (e.g.
+            ``random_starts``).
+    """
+
+    grid_points: int = 60
+    options: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.grid_points, int) or self.grid_points < 2:
+            raise ConfigurationError(
+                f"solver.grid_points must be an integer >= 2, got {self.grid_points!r}"
+            )
+        object.__setattr__(self, "options", dict(self.options))
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "SolverSettings":
+        extra = {key: value for key, value in payload.items() if key != "grid_points"}
+        return cls(grid_points=int(payload.get("grid_points", 60)), options=extra)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"grid_points": self.grid_points, **dict(sorted(self.options.items()))}
+
+    def game_options(self) -> Dict[str, object]:
+        """The solver options in the shape ``EnergyDelayGame`` accepts."""
+        return {"grid_points_per_dimension": self.grid_points, **self.options}
+
+
+@dataclass(frozen=True)
+class SweepAxis:
+    """The swept requirement of a ``sweep``/``figure`` workload.
+
+    Attributes:
+        parameter: ``"max_delay"`` or ``"energy_budget"`` (kebab-case
+            spellings are normalized).
+        values: The swept requirement values, in sweep order.
+    """
+
+    parameter: str
+    values: Tuple[float, ...] = ()
+
+    def __post_init__(self) -> None:
+        parameter = _SWEEP_ALIASES.get(self.parameter, self.parameter)
+        if parameter not in SWEEP_PARAMETERS:
+            raise ConfigurationError(
+                f"sweep.parameter must be one of {SWEEP_PARAMETERS}, "
+                f"got {self.parameter!r}"
+            )
+        object.__setattr__(self, "parameter", parameter)
+        values = tuple(
+            _require_number("sweep", "values[]", value) for value in self.values
+        )
+        if not values:
+            raise ConfigurationError("sweep.values must not be empty")
+        object.__setattr__(self, "values", values)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "SweepAxis":
+        _check_keys("sweep", payload, ("parameter", "values"))
+        if "parameter" not in payload or "values" not in payload:
+            raise ConfigurationError("sweep needs both 'parameter' and 'values'")
+        return cls(
+            parameter=str(payload["parameter"]),
+            values=tuple(payload["values"]),  # type: ignore[arg-type]
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"parameter": self.parameter, "values": list(self.values)}
+
+
+@dataclass(frozen=True)
+class RequirementOverrides:
+    """Application requirements of a spec (kind-specific defaults apply).
+
+    For ``solve``/``sweep``/``figure`` kinds these are the game's
+    ``(Ebudget, Lmax)``; for ``suite`` they *override* every preset's
+    suggested requirements (``None`` keeps the preset's value).
+    """
+
+    energy_budget: Optional[float] = None
+    max_delay: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        for name in ("energy_budget", "max_delay"):
+            value = getattr(self, name)
+            if value is not None:
+                object.__setattr__(
+                    self, name, _require_number("requirements", name, value)
+                )
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "RequirementOverrides":
+        _check_keys("requirements", payload, ("energy_budget", "max_delay"))
+        return cls(
+            energy_budget=payload.get("energy_budget"),  # type: ignore[arg-type]
+            max_delay=payload.get("max_delay"),  # type: ignore[arg-type]
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"energy_budget": self.energy_budget, "max_delay": self.max_delay}
+
+
+@dataclass(frozen=True)
+class SimulationSettings:
+    """Settings of the ``validate`` workload's packet-level simulation.
+
+    Attributes:
+        horizon: Simulated duration in seconds.
+        seed: Simulation seed.
+        parameters: Explicit parameter vector to validate at; ``None`` uses
+            the midpoint of the protocol's parameter space.
+    """
+
+    horizon: float = 2000.0
+    seed: int = 1
+    parameters: Optional[Mapping[str, float]] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "horizon", _require_number("simulation", "horizon", self.horizon)
+        )
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool):
+            raise ConfigurationError(
+                f"simulation.seed must be an integer, got {self.seed!r}"
+            )
+        if self.parameters is not None:
+            object.__setattr__(
+                self,
+                "parameters",
+                {
+                    str(key): _require_number("simulation.parameters", str(key), value)
+                    for key, value in dict(self.parameters).items()
+                },
+            )
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "SimulationSettings":
+        _check_keys("simulation", payload, ("horizon", "seed", "parameters"))
+        return cls(
+            horizon=float(payload.get("horizon", 2000.0)),
+            seed=int(payload.get("seed", 1)),
+            parameters=payload.get("parameters"),  # type: ignore[arg-type]
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "horizon": self.horizon,
+            "seed": self.seed,
+            "parameters": None if self.parameters is None else dict(self.parameters),
+        }
+
+
+@dataclass(frozen=True)
+class CampaignSettings:
+    """Settings of the ``campaign`` workload (Monte-Carlo validation).
+
+    Mirrors :class:`repro.validation.campaign.CampaignSpec`; the full
+    cross-validation (simulability, duplicates) happens when the campaign
+    spec is assembled at plan time.
+    """
+
+    replications: int = 5
+    base_seed: int = 1
+    horizon: float = 1500.0
+    confidence: float = 0.95
+    energy_tolerance: float = 0.35
+    delay_tolerance: float = 0.6
+    min_delivery_ratio: float = 0.9
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "CampaignSettings":
+        _check_keys(
+            "campaign",
+            payload,
+            (
+                "replications",
+                "base_seed",
+                "horizon",
+                "confidence",
+                "energy_tolerance",
+                "delay_tolerance",
+                "min_delivery_ratio",
+            ),
+        )
+        defaults = cls()
+        return cls(
+            replications=int(payload.get("replications", defaults.replications)),
+            base_seed=int(payload.get("base_seed", defaults.base_seed)),
+            horizon=float(payload.get("horizon", defaults.horizon)),
+            confidence=float(payload.get("confidence", defaults.confidence)),
+            energy_tolerance=float(
+                payload.get("energy_tolerance", defaults.energy_tolerance)
+            ),
+            delay_tolerance=float(
+                payload.get("delay_tolerance", defaults.delay_tolerance)
+            ),
+            min_delivery_ratio=float(
+                payload.get("min_delivery_ratio", defaults.min_delivery_ratio)
+            ),
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "replications": self.replications,
+            "base_seed": self.base_seed,
+            "horizon": self.horizon,
+            "confidence": self.confidence,
+            "energy_tolerance": self.energy_tolerance,
+            "delay_tolerance": self.delay_tolerance,
+            "min_delivery_ratio": self.min_delivery_ratio,
+        }
+
+
+#: Keys an inline scenario mapping may carry (mirrors the CLI's scenario
+#: arguments; ``sampling_period`` is seconds per sample).
+_SCENARIO_KEYS = ("depth", "density", "sampling_period", "radio", "burstiness")
+
+#: A scenario reference: a preset name or an inline scenario mapping.
+ScenarioRef = Union[str, Mapping[str, object]]
+
+
+def _normalize_scenario(ref: Optional[ScenarioRef]) -> Optional[ScenarioRef]:
+    if ref is None:
+        return None
+    if isinstance(ref, str):
+        name = ref.strip().lower()
+        if not name:
+            raise ConfigurationError("scenario name must be non-empty")
+        return name
+    if isinstance(ref, Mapping):
+        _check_keys("scenario", ref, _SCENARIO_KEYS)
+        return dict(ref)
+    raise ConfigurationError(
+        f"scenario must be a preset name or a mapping, got {type(ref).__name__}"
+    )
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One declarative experiment: *what* to run, not *how*.
+
+    Attributes:
+        kind: Workload kind, one of :data:`WORKLOAD_KINDS`.
+        name: Free-form experiment label (carried into results).
+        scenario: Scenario of the single-environment kinds (``solve``,
+            ``sweep``, ``figure1``, ``figure2``, ``validate``): a preset
+            name or an inline mapping with ``depth``/``density``/
+            ``sampling_period``/``radio``/``burstiness``.  ``None`` uses the
+            kind's default (the paper's environment).
+        scenarios: Scenario preset names of the multi-environment kinds
+            (``suite``, ``campaign``); empty means the kind's default set.
+        protocols: Protocol names (resolved through the protocol registry
+            at plan time, so user-registered protocols work); empty means
+            the kind's default set.
+        requirements: Application requirements / overrides.
+        sweep: Swept requirement axis (``sweep`` kind; for the figure kinds
+            it may override the paper's swept values).
+        simulation: ``validate`` settings.
+        campaign: ``campaign`` settings.
+        solver: Game solver settings.
+        runtime: Execution policy (workers, cache).
+    """
+
+    kind: str
+    name: str = ""
+    scenario: Optional[ScenarioRef] = None
+    scenarios: Tuple[str, ...] = ()
+    protocols: Tuple[str, ...] = ()
+    requirements: Optional[RequirementOverrides] = None
+    sweep: Optional[SweepAxis] = None
+    simulation: SimulationSettings = field(default_factory=SimulationSettings)
+    campaign: CampaignSettings = field(default_factory=CampaignSettings)
+    solver: SolverSettings = field(default_factory=SolverSettings)
+    runtime: RuntimePolicy = field(default_factory=RuntimePolicy)
+
+    def __post_init__(self) -> None:
+        if self.kind not in WORKLOAD_KINDS:
+            raise ConfigurationError(
+                f"unknown workload kind {self.kind!r}; "
+                f"known kinds: {', '.join(WORKLOAD_KINDS)}"
+            )
+        object.__setattr__(self, "scenario", _normalize_scenario(self.scenario))
+        object.__setattr__(
+            self, "scenarios", tuple(str(name).strip().lower() for name in self.scenarios)
+        )
+        object.__setattr__(
+            self, "protocols", tuple(str(name).strip() for name in self.protocols)
+        )
+
+    # ------------------------------------------------------------------ #
+    # Fluent construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def experiment(cls, kind: str, name: str = "") -> "ExperimentSpec":
+        """Start a fluent spec of the given workload kind."""
+        return cls(kind=kind, name=name)
+
+    def with_scenario(self, scenario: ScenarioRef) -> "ExperimentSpec":
+        """Set the single-environment scenario (preset name or mapping)."""
+        return replace(self, scenario=scenario)
+
+    def with_scenarios(self, *names: str) -> "ExperimentSpec":
+        """Set the scenario preset names of a suite/campaign."""
+        return replace(self, scenarios=tuple(names))
+
+    def with_protocols(self, *names: str) -> "ExperimentSpec":
+        """Set the protocol names."""
+        return replace(self, protocols=tuple(names))
+
+    def with_requirements(
+        self,
+        energy_budget: Optional[float] = None,
+        max_delay: Optional[float] = None,
+    ) -> "ExperimentSpec":
+        """Update the application requirements (or suite overrides).
+
+        Like the other ``with_*`` builders this *merges*: an argument left
+        as ``None`` keeps the previously set value, so
+        ``.with_requirements(energy_budget=...).with_requirements(max_delay=...)``
+        carries both.
+        """
+        current = self.requirements or RequirementOverrides()
+        return replace(
+            self,
+            requirements=RequirementOverrides(
+                energy_budget=(
+                    current.energy_budget if energy_budget is None else energy_budget
+                ),
+                max_delay=current.max_delay if max_delay is None else max_delay,
+            ),
+        )
+
+    def with_sweep(self, parameter: str, values: Iterable[float]) -> "ExperimentSpec":
+        """Set the swept requirement axis."""
+        return replace(self, sweep=SweepAxis(parameter=parameter, values=tuple(values)))
+
+    def with_simulation(self, **settings: object) -> "ExperimentSpec":
+        """Update the ``validate`` simulation settings."""
+        return replace(self, simulation=replace(self.simulation, **settings))
+
+    def with_campaign(self, **settings: object) -> "ExperimentSpec":
+        """Update the ``campaign`` settings."""
+        return replace(self, campaign=replace(self.campaign, **settings))
+
+    def with_solver(self, grid_points: Optional[int] = None, **options: object) -> "ExperimentSpec":
+        """Update the game solver settings."""
+        merged = dict(self.solver.options)
+        merged.update(options)
+        return replace(
+            self,
+            solver=SolverSettings(
+                grid_points=self.solver.grid_points if grid_points is None else grid_points,
+                options=merged,
+            ),
+        )
+
+    def with_runtime(self, **settings: object) -> "ExperimentSpec":
+        """Update the runtime policy (``workers``, ``cache``, ...)."""
+        return replace(self, runtime=replace(self.runtime, **settings))
+
+    # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "ExperimentSpec":
+        """Build a spec from a plain mapping (the JSON/TOML document shape).
+
+        Raises:
+            ConfigurationError: on unknown keys, unknown kinds, or malformed
+                sections — with a message naming the offending key.
+        """
+        if not isinstance(payload, Mapping):
+            raise ConfigurationError(
+                f"spec must be a mapping, got {type(payload).__name__}"
+            )
+        known = tuple(spec_field.name for spec_field in fields(cls))
+        _check_keys("spec", payload, known)
+        if "kind" not in payload:
+            raise ConfigurationError(
+                f"spec needs a 'kind'; known kinds: {', '.join(WORKLOAD_KINDS)}"
+            )
+        kwargs: Dict[str, object] = {
+            "kind": str(payload["kind"]),
+            "name": str(payload.get("name", "")),
+        }
+        if payload.get("scenario") is not None:
+            kwargs["scenario"] = payload["scenario"]
+        if payload.get("scenarios"):
+            kwargs["scenarios"] = tuple(payload["scenarios"])  # type: ignore[arg-type]
+        if payload.get("protocols"):
+            kwargs["protocols"] = tuple(payload["protocols"])  # type: ignore[arg-type]
+        if payload.get("requirements") is not None:
+            kwargs["requirements"] = RequirementOverrides.from_dict(
+                payload["requirements"]  # type: ignore[arg-type]
+            )
+        if payload.get("sweep") is not None:
+            kwargs["sweep"] = SweepAxis.from_dict(payload["sweep"])  # type: ignore[arg-type]
+        if payload.get("simulation") is not None:
+            kwargs["simulation"] = SimulationSettings.from_dict(
+                payload["simulation"]  # type: ignore[arg-type]
+            )
+        if payload.get("campaign") is not None:
+            kwargs["campaign"] = CampaignSettings.from_dict(
+                payload["campaign"]  # type: ignore[arg-type]
+            )
+        if payload.get("solver") is not None:
+            kwargs["solver"] = SolverSettings.from_dict(
+                payload["solver"]  # type: ignore[arg-type]
+            )
+        if payload.get("runtime") is not None:
+            kwargs["runtime"] = RuntimePolicy.from_dict(
+                payload["runtime"]  # type: ignore[arg-type]
+            )
+        return cls(**kwargs)  # type: ignore[arg-type]
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentSpec":
+        """Parse a JSON document into a spec."""
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ConfigurationError(f"invalid JSON spec: {error}") from error
+        return cls.from_dict(payload)
+
+    @classmethod
+    def from_toml(cls, text: str) -> "ExperimentSpec":
+        """Parse a TOML document into a spec (needs Python 3.11+)."""
+        try:
+            import tomllib
+        except ModuleNotFoundError as error:  # pragma: no cover - py<3.11 only
+            raise ConfigurationError(
+                "TOML specs need Python 3.11+ (tomllib); use JSON instead"
+            ) from error
+        try:
+            payload = tomllib.loads(text)
+        except tomllib.TOMLDecodeError as error:
+            raise ConfigurationError(f"invalid TOML spec: {error}") from error
+        return cls.from_dict(payload)
+
+    @classmethod
+    def from_file(cls, path: Union[str, Path]) -> "ExperimentSpec":
+        """Load a spec from a ``.json`` or ``.toml`` file.
+
+        Raises:
+            ConfigurationError: when the file is missing, has an unsupported
+                suffix, or does not parse into a valid spec.
+        """
+        path = Path(path)
+        if not path.exists():
+            raise ConfigurationError(f"spec file not found: {path}")
+        text = path.read_text(encoding="utf-8")
+        if path.suffix.lower() == ".json":
+            return cls.from_json(text)
+        if path.suffix.lower() == ".toml":
+            return cls.from_toml(text)
+        raise ConfigurationError(
+            f"unsupported spec file type {path.suffix!r} (use .json or .toml)"
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """Canonical, JSON-ready representation (the hash input)."""
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "scenario": (
+                dict(self.scenario)
+                if isinstance(self.scenario, Mapping)
+                else self.scenario
+            ),
+            "scenarios": list(self.scenarios),
+            "protocols": list(self.protocols),
+            "requirements": (
+                None if self.requirements is None else self.requirements.as_dict()
+            ),
+            "sweep": None if self.sweep is None else self.sweep.as_dict(),
+            "simulation": self.simulation.as_dict(),
+            "campaign": self.campaign.as_dict(),
+            "solver": self.solver.as_dict(),
+            "runtime": self.runtime.as_dict(),
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """The spec as a JSON document."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def spec_hash(self) -> str:
+        """SHA-256 of the canonical JSON form — the result's provenance tag.
+
+        The runtime policy is *excluded*: a spec run with ``--workers 4``
+        carries the same provenance as the serial run it is bit-identical
+        to.
+        """
+        payload = self.to_dict()
+        payload.pop("runtime")
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

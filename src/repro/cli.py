@@ -2,6 +2,7 @@
 
 ``repro-mac-game`` (or ``python -m repro.cli``) exposes the main workflows:
 
+* ``run``       — execute a declarative experiment spec (``.json``/``.toml``),
 * ``solve``     — solve the energy-delay game for one protocol,
 * ``sweep``     — sweep a requirement and print the series,
 * ``figure1``   — regenerate the paper's Figure 1 series,
@@ -11,42 +12,28 @@
 * ``validate``  — compare the analytical model against the simulator,
 * ``validate-campaign`` — replicated Monte-Carlo validation over the suite,
 * ``protocols`` — list the available protocol models.
+
+Every workload subcommand is a thin *spec builder*: it assembles an
+:class:`repro.api.ExperimentSpec` from its arguments and pushes it through
+the shared ``spec → plan → run`` pipeline, so ``solve``/``sweep``/``suite``
+/... are each exactly equivalent to ``run`` with the corresponding spec
+file (see ``examples/specs/`` and ``docs/api.md``).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
-from repro.analysis.reporting import format_table, solutions_to_rows, write_csv
-from repro.analysis.sweep import sweep_delay_bound, sweep_energy_budget
-from repro.analysis.validation import validate_protocol
-from repro.core.requirements import ApplicationRequirements
-from repro.core.tradeoff import EnergyDelayGame
-from repro.exceptions import ReproError
-from repro.experiments.figure1 import figure1_rows, reproduce_figure1
-from repro.experiments.figure2 import figure2_rows, reproduce_figure2
-from repro.network.radio import radio_by_name
-from repro.network.topology import RingTopology
-from repro.protocols.registry import available_protocols, create_protocol
-from repro.runtime import BatchRunner, build_runner
-from repro.scenario import Scenario
-from repro.scenarios import ScenarioSuite, available_scenarios, scenario_presets
-from repro.simulation.runner import SimulationConfig
-from repro.validation import CampaignSpec, run_campaign, write_campaign
-
-
-def _build_scenario(args: argparse.Namespace) -> Scenario:
-    return Scenario(
-        topology=RingTopology(depth=args.depth, density=args.density),
-        sampling_rate=1.0 / args.sampling_period,
-        radio=radio_by_name(args.radio),
-    )
-
-
-def _build_runner(args: argparse.Namespace) -> BatchRunner:
-    return build_runner(workers=args.workers, use_cache=not args.no_cache)
+from repro.analysis.reporting import format_table
+from repro.api import ExperimentSpec, ResultSet, plan as plan_experiment, run as run_experiment
+from repro.api.engine import runner_for
+from repro.exceptions import ConfigurationError, ReproError
+from repro.protocols.registry import available_protocols
+from repro.runtime import BatchRunner
+from repro.scenarios import available_scenarios, scenario_presets
+from repro.validation import write_campaign
 
 
 def _print_runtime_summary(runner: BatchRunner) -> None:
@@ -55,6 +42,20 @@ def _print_runtime_summary(runner: BatchRunner) -> None:
     if runner.cache is not None:
         line += f" — cache: {stats.hits} hits / {stats.misses} misses"
     print(line)
+
+
+def _scenario_ref(args: argparse.Namespace) -> dict:
+    """The inline-scenario mapping a subcommand's scenario arguments describe."""
+    return {
+        "depth": args.depth,
+        "density": args.density,
+        "sampling_period": args.sampling_period,
+        "radio": args.radio,
+    }
+
+
+def _runtime_kwargs(args: argparse.Namespace) -> dict:
+    return {"workers": args.workers, "cache": not args.no_cache}
 
 
 def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
@@ -89,6 +90,12 @@ def _add_runtime_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _write_optional_csv(result: ResultSet, path: Optional[str]) -> None:
+    if path:
+        written = result.to_csv(path)
+        print(f"# wrote {written}")
+
+
 def _cmd_protocols(_: argparse.Namespace) -> int:
     for name in available_protocols():
         print(name)
@@ -101,27 +108,117 @@ def _cmd_scenarios(_: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = ExperimentSpec.from_file(args.spec)
+    if args.workers is not None:
+        spec = spec.with_runtime(workers=args.workers)
+    if args.no_cache:
+        spec = spec.with_runtime(cache=False)
+    plan = plan_experiment(spec)
+    if args.shard:
+        try:
+            index_text, _, count_text = args.shard.partition("/")
+            index, count = int(index_text), int(count_text)
+        except ValueError:
+            raise ConfigurationError(
+                f"--shard must look like INDEX/COUNT (e.g. 0/4), got {args.shard!r}"
+            ) from None
+        plan = plan.shard(index, count)
+    title = f" {spec.name!r}" if spec.name else ""
+    print(f"# spec{title}: {plan.describe()} — sha256 {spec.spec_hash()[:12]}")
+    if args.plan_only:
+        print(format_table(plan.rows()))
+        return 0
+    runner = runner_for(spec)
+    result = run_experiment(plan, runner=runner)
+    print(format_table(result.rows()))
+    _write_optional_csv(result, args.csv)
+    if args.out:
+        written = result.to_json(args.out)
+        print(f"# wrote {written}")
+    failed = result.failed_records
+    if failed:
+        labels = ", ".join(
+            f"{record.unit.scenario}/{record.unit.protocol}" for record in failed
+        )
+        print(f"# units without a passing result: {labels}")
+    _print_runtime_summary(runner)
+    return 0
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    spec = (
+        ExperimentSpec.experiment("solve")
+        .with_scenario(_scenario_ref(args))
+        .with_protocols(args.protocol)
+        .with_requirements(energy_budget=args.energy_budget, max_delay=args.max_delay)
+        .with_solver(grid_points=args.grid_points)
+    )
+    result = run_experiment(spec)
+    solution = result.records[0].value
+    print(f"# {solution.protocol} — Ebudget={args.energy_budget} J/s, Lmax={args.max_delay} s")
+    print(format_table(result.rows()))
+    print("# bargaining parameters:", dict(solution.bargaining.point.parameters))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    spec = (
+        ExperimentSpec.experiment("sweep")
+        .with_scenario(_scenario_ref(args))
+        .with_protocols(args.protocol)
+        .with_sweep(args.vary, [float(value) for value in args.values])
+        .with_requirements(energy_budget=args.energy_budget, max_delay=args.max_delay)
+        .with_solver(grid_points=args.grid_points)
+        .with_runtime(**_runtime_kwargs(args))
+    )
+    runner = runner_for(spec)
+    result = run_experiment(spec, runner=runner)
+    print(format_table(result.rows()))
+    _write_optional_csv(result, args.csv)
+    sweep = next(iter(result.raw.values()))
+    if sweep.infeasible_values:
+        print(f"# infeasible values: {sweep.infeasible_values}")
+    _print_runtime_summary(runner)
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace, which: int) -> int:
+    spec = (
+        ExperimentSpec.experiment(f"figure{which}")
+        .with_solver(grid_points=args.grid_points)
+        .with_runtime(**_runtime_kwargs(args))
+    )
+    runner = runner_for(spec)
+    result = run_experiment(spec, runner=runner)
+    print(format_table(result.rows()))
+    _write_optional_csv(result, args.csv)
+    _print_runtime_summary(runner)
+    return 0
+
+
 def _cmd_suite(args: argparse.Namespace) -> int:
-    runner = _build_runner(args)
-    suite = ScenarioSuite(
-        scenarios=args.scenarios,
-        protocols=args.protocols,
-        runner=runner,
-        grid_points_per_dimension=args.grid_points,
-        energy_budget=args.energy_budget,
-        max_delay=args.max_delay,
+    spec = (
+        ExperimentSpec.experiment("suite")
+        .with_scenarios(*(args.scenarios or ()))
+        .with_protocols(*(args.protocols or ()))
+        .with_solver(grid_points=args.grid_points)
+        .with_runtime(**_runtime_kwargs(args))
     )
+    if args.energy_budget is not None or args.max_delay is not None:
+        spec = spec.with_requirements(
+            energy_budget=args.energy_budget, max_delay=args.max_delay
+        )
+    plan = plan_experiment(spec)
     print(
-        f"# scenario suite: {len(suite.presets)} scenarios × "
-        f"{len(suite.protocols)} protocols = {suite.pair_count} games"
+        f"# scenario suite: {len(plan.scenario_names)} scenarios × "
+        f"{len(plan.protocol_names)} protocols = {plan.count} games"
     )
-    result = suite.run()
-    rows = result.rows()
-    print(format_table(rows))
-    if args.csv:
-        path = write_csv(rows, args.csv)
-        print(f"# wrote {path}")
-    infeasible = result.infeasible_cells
+    runner = runner_for(spec)
+    result = run_experiment(plan, runner=runner)
+    print(format_table(result.rows()))
+    _write_optional_csv(result, args.csv)
+    infeasible = result.raw.infeasible_cells
     if infeasible:
         pairs = ", ".join(f"{cell.scenario}/{cell.protocol}" for cell in infeasible)
         print(f"# infeasible pairs: {pairs}")
@@ -129,120 +226,47 @@ def _cmd_suite(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_solve(args: argparse.Namespace) -> int:
-    scenario = _build_scenario(args)
-    model = create_protocol(args.protocol, scenario)
-    requirements = ApplicationRequirements(
-        energy_budget=args.energy_budget,
-        max_delay=args.max_delay,
-        sampling_rate=scenario.sampling_rate,
-    )
-    game = EnergyDelayGame(model, requirements, grid_points_per_dimension=args.grid_points)
-    solution = game.solve()
-    rows = [
-        {"quantity": "E_best [J/s]", "value": solution.energy_best},
-        {"quantity": "L_worst [ms]", "value": solution.delay_worst * 1000.0},
-        {"quantity": "E_worst [J/s]", "value": solution.energy_worst},
-        {"quantity": "L_best [ms]", "value": solution.delay_best * 1000.0},
-        {"quantity": "E_star [J/s]", "value": solution.energy_star},
-        {"quantity": "L_star [ms]", "value": solution.delay_star * 1000.0},
-        {"quantity": "fairness residual", "value": solution.bargaining.fairness_residual},
-    ]
-    print(f"# {model.name} — Ebudget={args.energy_budget} J/s, Lmax={args.max_delay} s")
-    print(format_table(rows))
-    print("# bargaining parameters:", dict(solution.bargaining.point.parameters))
-    return 0
-
-
-def _cmd_sweep(args: argparse.Namespace) -> int:
-    scenario = _build_scenario(args)
-    model = create_protocol(args.protocol, scenario)
-    runner = _build_runner(args)
-    values = [float(v) for v in args.values]
-    if args.vary == "max-delay":
-        result = sweep_delay_bound(
-            model,
-            energy_budget=args.energy_budget,
-            delay_bounds=values,
-            runner=runner,
-            grid_points_per_dimension=args.grid_points,
-        )
-    else:
-        result = sweep_energy_budget(
-            model,
-            max_delay=args.max_delay,
-            energy_budgets=values,
-            runner=runner,
-            grid_points_per_dimension=args.grid_points,
-        )
-    rows = result.series()
-    print(format_table(rows))
-    if args.csv:
-        path = write_csv(rows, args.csv)
-        print(f"# wrote {path}")
-    if result.infeasible_values:
-        print(f"# infeasible values: {result.infeasible_values}")
-    _print_runtime_summary(runner)
-    return 0
-
-
-def _cmd_figure(args: argparse.Namespace, which: int) -> int:
-    runner = _build_runner(args)
-    if which == 1:
-        results = reproduce_figure1(grid_points_per_dimension=args.grid_points, runner=runner)
-        rows = figure1_rows(results)
-    else:
-        results = reproduce_figure2(grid_points_per_dimension=args.grid_points, runner=runner)
-        rows = figure2_rows(results)
-    print(format_table(rows))
-    if args.csv:
-        path = write_csv(rows, args.csv)
-        print(f"# wrote {path}")
-    _print_runtime_summary(runner)
-    return 0
-
-
 def _cmd_validate(args: argparse.Namespace) -> int:
-    scenario = _build_scenario(args)
-    model = create_protocol(args.protocol, scenario)
-    space = model.parameter_space
-    params = space.to_dict(space.midpoint())
-    report = validate_protocol(
-        model,
-        params,
-        SimulationConfig(horizon=args.horizon, seed=args.seed),
+    spec = (
+        ExperimentSpec.experiment("validate")
+        .with_scenario(_scenario_ref(args))
+        .with_protocols(args.protocol)
+        .with_simulation(horizon=args.horizon, seed=args.seed)
     )
-    rows = [{"quantity": key, "value": value} for key, value in report.as_dict().items()]
-    print(format_table(rows))
+    result = run_experiment(spec)
+    print(format_table(result.rows()))
     return 0
 
 
 def _cmd_validate_campaign(args: argparse.Namespace) -> int:
-    runner = _build_runner(args)
-    spec = CampaignSpec(
-        scenarios=tuple(args.scenarios or ()),
-        protocols=tuple(args.protocols or ()),
-        replications=args.replications,
-        base_seed=args.base_seed,
-        horizon=args.horizon,
-        confidence=args.confidence,
-        grid_points_per_dimension=args.grid_points,
+    spec = (
+        ExperimentSpec.experiment("campaign")
+        .with_scenarios(*(args.scenarios or ()))
+        .with_protocols(*(args.protocols or ()))
+        .with_campaign(
+            replications=args.replications,
+            base_seed=args.base_seed,
+            horizon=args.horizon,
+            confidence=args.confidence,
+        )
+        .with_solver(grid_points=args.grid_points)
+        .with_runtime(**_runtime_kwargs(args))
     )
+    plan = plan_experiment(spec)
+    replications = spec.campaign.replications
     print(
-        f"# validation campaign: {len(spec.scenarios)} scenarios × "
-        f"{len(spec.protocols)} protocols × {spec.replications} replications "
-        f"= {spec.cell_count * spec.replications} simulations"
+        f"# validation campaign: {len(plan.scenario_names)} scenarios × "
+        f"{len(plan.protocol_names)} protocols × {replications} replications "
+        f"= {plan.count * replications} simulations"
     )
-    result = run_campaign(spec, runner)
-    rows = result.rows()
-    print(format_table(rows))
+    runner = runner_for(spec)
+    result = run_experiment(plan, runner=runner)
+    print(format_table(result.rows()))
     if args.out:
-        path = write_campaign(result, args.out)
+        path = write_campaign(result.raw, args.out)
         print(f"# wrote {path}")
-    if args.csv:
-        path = write_csv(rows, args.csv)
-        print(f"# wrote {path}")
-    failed = result.failed_cells
+    _write_optional_csv(result, args.csv)
+    failed = result.raw.failed_cells
     if failed:
         pairs = ", ".join(f"{cell.scenario}/{cell.protocol}" for cell in failed)
         print(f"# cells with failed checks: {pairs}")
@@ -257,6 +281,38 @@ def build_parser() -> argparse.ArgumentParser:
         description="Game-theoretic energy-delay balancing for duty-cycled MAC protocols",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser(
+        "run", help="execute a declarative experiment spec (.json or .toml)"
+    )
+    run_parser.add_argument("spec", help="path to the experiment spec file")
+    run_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="override the spec's worker count (1 = serial, 0 = one per CPU)",
+    )
+    run_parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="override the spec to disable the solve cache",
+    )
+    run_parser.add_argument(
+        "--plan-only",
+        action="store_true",
+        help="print the expanded work units without running anything",
+    )
+    run_parser.add_argument(
+        "--shard",
+        default=None,
+        metavar="INDEX/COUNT",
+        help="run only one round-robin shard of the plan (e.g. 0/4)",
+    )
+    run_parser.add_argument("--csv", default=None, help="optional CSV output path")
+    run_parser.add_argument(
+        "--out", default=None, help="write the versioned result JSON to this path"
+    )
+    run_parser.set_defaults(handler=_cmd_run)
 
     protocols_parser = subparsers.add_parser("protocols", help="list available protocols")
     protocols_parser.set_defaults(handler=_cmd_protocols)

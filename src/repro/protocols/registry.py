@@ -43,6 +43,10 @@ PROTOCOL_FAMILIES: Dict[str, str] = {
 #: The three protocols evaluated in the paper, in the paper's order.
 PAPER_PROTOCOL_NAMES = ("xmac", "dmac", "lmac")
 
+#: Names of the built-in protocols, which can be neither unregistered nor
+#: overwritten.
+_BUILTIN_NAMES = ("xmac", "dmac", "lmac", "scpmac")
+
 
 def canonical_name(name: str) -> str:
     """Normalize a user-supplied protocol name to its canonical registry key."""
@@ -78,21 +82,41 @@ def paper_protocols(scenario: Scenario) -> Dict[str, DutyCycledMACModel]:
     return {name: create_protocol(name, scenario) for name in PAPER_PROTOCOL_NAMES}
 
 
-def register_protocol(name: str, cls: Type[DutyCycledMACModel]) -> None:
+def register_protocol(
+    name: str, cls: Type[DutyCycledMACModel], overwrite: bool = False
+) -> None:
     """Register a user-defined protocol model under ``name``.
 
     This is the extension point for applying the framework to protocols
-    beyond the built-in ones; see ``examples/custom_protocol.py``.
+    beyond the built-in ones; see ``examples/custom_protocol.py``.  A
+    registered protocol is addressable everywhere names are — including the
+    ``protocols`` field of an :class:`~repro.api.spec.ExperimentSpec`,
+    which resolves through this registry at plan time.
+
+    Args:
+        name: Registry key (normalized to lower case).
+        cls: The model class.
+        overwrite: Allow replacing an existing *user-registered* protocol
+            of the same name (scripts and notebooks re-run registration);
+            built-in protocols and aliases can never be replaced.
 
     Raises:
-        ConfigurationError: if the name is already taken or the class does
+        ConfigurationError: if the name is already taken (and ``overwrite``
+            is false, or the name is built-in/an alias) or the class does
             not derive from :class:`DutyCycledMACModel`.
     """
     key = name.strip().lower()
     if not key:
         raise ConfigurationError("protocol name must be non-empty")
-    if key in _REGISTRY or key in _ALIASES:
-        raise ConfigurationError(f"protocol name {name!r} is already registered")
+    if key in _BUILTIN_NAMES or key in _ALIASES:
+        raise ConfigurationError(
+            f"protocol name {name!r} is reserved by a built-in protocol"
+        )
+    if key in _REGISTRY and not overwrite:
+        raise ConfigurationError(
+            f"protocol name {name!r} is already registered "
+            f"(pass overwrite=True to replace it)"
+        )
     if not (isinstance(cls, type) and issubclass(cls, DutyCycledMACModel)):
         raise ConfigurationError("protocol class must derive from DutyCycledMACModel")
     _REGISTRY[key] = cls
@@ -102,7 +126,7 @@ def register_protocol(name: str, cls: Type[DutyCycledMACModel]) -> None:
 def unregister_protocol(name: str) -> None:
     """Remove a previously registered user-defined protocol (test helper)."""
     key = name.strip().lower()
-    if key in ("xmac", "dmac", "lmac", "scpmac"):
+    if key in _BUILTIN_NAMES:
         raise ConfigurationError(f"built-in protocol {name!r} cannot be unregistered")
     _REGISTRY.pop(key, None)
     PROTOCOL_FAMILIES.pop(key, None)

@@ -1,10 +1,12 @@
 """The scenario suite: every (scenario × protocol) game in one batch.
 
 :class:`ScenarioSuite` expands a set of scenario presets and protocol names
-into one :class:`~repro.runtime.batch.SolveTask` grid and pushes it through
-the shared :mod:`repro.runtime` batch layer — so a suite run gets the solve
-cache, in-batch deduplication and process-pool fan-out (bit-identical to a
-serial run) for free.  It is the "run everything everywhere" entry point the
+into one solve grid and pushes it through the shared
+:func:`repro.api.engine.solve_grid` primitive — so a suite run gets the
+solve cache, in-batch deduplication and process-pool fan-out (bit-identical
+to a serial run) for free, and a suite described declaratively (an
+:class:`~repro.api.spec.ExperimentSpec` of kind ``"suite"``) produces the
+exact same cells.  It is the "run everything everywhere" entry point the
 ROADMAP's scenario axis asks for.
 
 Infeasibility is data, not failure: a (scenario, protocol) pair whose game
@@ -21,8 +23,8 @@ from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.core.results import GameSolution
 from repro.exceptions import ConfigurationError
-from repro.protocols.registry import available_protocols, canonical_name, create_protocol
-from repro.runtime import BatchRunner, SolveTask, default_runner
+from repro.protocols.registry import available_protocols, canonical_name
+from repro.runtime import BatchRunner, default_runner
 from repro.scenarios.presets import ScenarioPreset, scenario_preset
 
 #: A scenario argument: a registered preset name or an explicit preset.
@@ -119,6 +121,40 @@ class SuiteResult:
                 }
             )
         return rows
+
+
+def suite_cells_from_outcomes(outcomes: Sequence[object]) -> List[SuiteCell]:
+    """Fold grid outcomes (:class:`repro.api.engine.GridOutcome`) into cells.
+
+    Build failures and infeasible games become infeasible cells; the grid
+    layer has already re-raised anything else.  Shared by
+    :meth:`ScenarioSuite.run` and the declarative ``suite`` executor, which
+    is what keeps the two entry points cell-for-cell identical.
+    """
+    cells: List[SuiteCell] = []
+    for outcome in outcomes:
+        grid_cell = outcome.cell  # type: ignore[attr-defined]
+        if outcome.ok:  # type: ignore[attr-defined]
+            cells.append(
+                SuiteCell(
+                    scenario=grid_cell.scenario,
+                    protocol=grid_cell.protocol,
+                    solution=outcome.solution,  # type: ignore[attr-defined]
+                    from_cache=outcome.from_cache,  # type: ignore[attr-defined]
+                    solve_seconds=outcome.solve_seconds,  # type: ignore[attr-defined]
+                )
+            )
+        else:
+            cells.append(
+                SuiteCell(
+                    scenario=grid_cell.scenario,
+                    protocol=grid_cell.protocol,
+                    solution=None,
+                    error=outcome.error_message,  # type: ignore[attr-defined]
+                    solve_seconds=outcome.solve_seconds,  # type: ignore[attr-defined]
+                )
+            )
+    return cells
 
 
 class ScenarioSuite:
@@ -229,71 +265,26 @@ class ScenarioSuite:
             order.  Infeasible games and un-constructible models become
             infeasible cells; any other error is re-raised.
         """
-        tasks: List[SolveTask] = []
-        prebuilt: Dict[int, SuiteCell] = {}
-        order: List[object] = []  # SolveTask index (int) or SuiteCell key
-        for preset in self._presets:
-            for protocol in self._protocols:
-                try:
-                    model = create_protocol(protocol, preset.scenario)
-                    model.parameter_space  # noqa: B018 - force lazy validation here,
-                    # not inside a pool worker where it would poison the batch
-                except (ConfigurationError, ValueError) as error:
-                    # The scenario renders the protocol's parameter space
-                    # empty (e.g. a drift bound below the minimum slot):
-                    # that is a property of the pair, not a failure.
-                    cell_key = len(prebuilt)
-                    prebuilt[cell_key] = SuiteCell(
-                        scenario=preset.name,
-                        protocol=protocol,
-                        solution=None,
-                        error=f"model construction failed: {error}",
-                    )
-                    order.append(("cell", cell_key))
-                    continue
-                order.append(("task", len(tasks)))
-                tasks.append(
-                    SolveTask(
-                        model=model,
-                        requirements=self._requirements_for(preset),
-                        solver_options=dict(self._solver_options),
-                        label=f"{preset.name}/{protocol}",
-                        tag=(preset.name, protocol),
-                    )
-                )
+        # Imported here, not at module top: the api engine imports this
+        # module for the shared cell folding.
+        from repro.api.engine import build_grid_cell, solve_grid
 
-        outcomes = self._runner.run(tasks)
-        cells: List[SuiteCell] = []
-        for kind, index in order:
-            if kind == "cell":
-                cells.append(prebuilt[index])
-                continue
-            outcome = outcomes[index]
-            scenario_name, protocol = outcome.tag
-            if outcome.ok:
-                cells.append(
-                    SuiteCell(
-                        scenario=scenario_name,
-                        protocol=protocol,
-                        solution=outcome.solution,
-                        from_cache=outcome.from_cache,
-                        solve_seconds=outcome.solve_seconds,
-                    )
-                )
-            elif outcome.infeasible:
-                cells.append(
-                    SuiteCell(
-                        scenario=scenario_name,
-                        protocol=protocol,
-                        solution=None,
-                        error=str(outcome.error),
-                        solve_seconds=outcome.solve_seconds,
-                    )
-                )
-            else:
-                # Only infeasibility is data; anything else is a real bug.
-                raise outcome.error
-        return SuiteResult(cells=cells, runner_description=self._runner.describe())
+        cells = [
+            build_grid_cell(
+                scenario_label=preset.name,
+                protocol=protocol,
+                scenario=preset.scenario,
+                requirements=self._requirements_for(preset),
+                solver_options=self._solver_options,
+            )
+            for preset in self._presets
+            for protocol in self._protocols
+        ]
+        outcomes = solve_grid(cells, self._runner)
+        return SuiteResult(
+            cells=suite_cells_from_outcomes(outcomes),
+            runner_description=self._runner.describe(),
+        )
 
 
 def run_scenario_suite(

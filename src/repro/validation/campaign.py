@@ -34,10 +34,9 @@ from repro.exceptions import ConfigurationError, ValidationError
 from repro.protocols.registry import (
     available_protocols,
     canonical_name,
-    create_protocol,
     protocol_class,
 )
-from repro.runtime import BatchRunner, SolveTask, default_runner
+from repro.runtime import BatchRunner, default_runner
 from repro.scenarios.presets import available_scenarios, scenario_preset
 from repro.simulation.mac.factory import has_behaviour_for
 from repro.simulation.runner import SimulationConfig, simulate_protocol
@@ -607,64 +606,48 @@ def run_campaign(
         and out-of-tolerance cells are recorded as data; any non-infeasibility
         solver error is re-raised.
     """
+    # Imported here, not at module top: the api engine imports this module
+    # for the declarative ``campaign`` executor.
+    from repro.api.engine import build_grid_cell, solve_grid
+
     spec = spec if spec is not None else CampaignSpec()
     runner = runner if runner is not None else default_runner()
 
-    # Stage 1: solve every cell's bargaining game (cached, deduplicated).
-    tasks: List[SolveTask] = []
-    prebuilt: Dict[int, CampaignCell] = {}
-    order: List[Tuple[str, int]] = []
-    models: List[object] = []
-    for scenario_name in spec.scenarios:
-        preset = scenario_preset(scenario_name)
-        for protocol in spec.protocols:
-            try:
-                model = create_protocol(protocol, preset.scenario)
-                model.parameter_space  # noqa: B018 - force lazy validation here,
-                # not inside a pool worker where it would poison the batch
-            except (ConfigurationError, ValueError) as error:
-                key = len(prebuilt)
-                prebuilt[key] = CampaignCell(
-                    scenario=scenario_name,
-                    protocol=protocol,
-                    feasible=False,
-                    solve_error=f"model construction failed: {error}",
-                )
-                order.append(("cell", key))
-                continue
-            order.append(("task", len(tasks)))
-            models.append(model)
-            tasks.append(
-                SolveTask(
-                    model=model,
-                    requirements=preset.requirements(),
-                    solver_options={
-                        "grid_points_per_dimension": spec.grid_points_per_dimension
-                    },
-                    label=f"{scenario_name}/{protocol}",
-                    tag=(scenario_name, protocol),
-                )
-            )
-    outcomes = runner.run(tasks)
+    # Stage 1: solve every cell's bargaining game through the shared grid
+    # primitive (cached, deduplicated, construction failures as data).
+    cells_grid = [
+        build_grid_cell(
+            scenario_label=scenario_name,
+            protocol=protocol,
+            scenario=scenario_preset(scenario_name).scenario,
+            requirements=scenario_preset(scenario_name).requirements(),
+            solver_options={
+                "grid_points_per_dimension": spec.grid_points_per_dimension
+            },
+        )
+        for scenario_name in spec.scenarios
+        for protocol in spec.protocols
+    ]
+    outcomes = solve_grid(cells_grid, runner)
 
     # Stage 2: fan every feasible cell's replications out over the executor.
     # ``pending`` keeps (scenario, protocol, model, params, analytical E/L,
-    # seeds) per feasible cell, in submission order.
+    # seeds) per feasible cell, in submission order; ``placements`` records,
+    # per grid cell, either the pending index or the finished infeasible
+    # cell, so stage 3 can reassemble in submission order.
     pending: List[Tuple[str, str, object, Dict[str, float], float, float, Tuple[int, ...]]] = []
-    cell_of_outcome: Dict[int, Tuple[str, int]] = {}
-    for kind, index in order:
-        if kind != "task":
-            continue
-        outcome = outcomes[index]
-        scenario_name, protocol = outcome.tag
+    placements: List[Tuple[str, object]] = []
+    for outcome in outcomes:
+        scenario_name = outcome.cell.scenario
+        protocol = outcome.cell.protocol
         if outcome.ok:
-            model = models[index]
+            model = outcome.cell.model
             params = model.coerce(outcome.solution.bargaining.point.parameters)
             seeds = tuple(
                 replication_seed(spec.base_seed, scenario_name, protocol, replication)
                 for replication in range(spec.replications)
             )
-            cell_of_outcome[index] = ("sim", len(pending))
+            placements.append(("sim", len(pending)))
             pending.append(
                 (
                     scenario_name,
@@ -676,11 +659,19 @@ def run_campaign(
                     seeds,
                 )
             )
-        elif outcome.infeasible:
-            cell_of_outcome[index] = ("infeasible", index)
         else:
-            # Only infeasibility is data; anything else is a real bug.
-            raise outcome.error
+            # Build failure or infeasible game: the cell is data.
+            placements.append(
+                (
+                    "cell",
+                    CampaignCell(
+                        scenario=scenario_name,
+                        protocol=protocol,
+                        feasible=False,
+                        solve_error=outcome.error_message,
+                    ),
+                )
+            )
 
     payloads: List[_SimPayload] = []
     for scenario_name, protocol, model, params, _, _, seeds in pending:
@@ -716,22 +707,9 @@ def run_campaign(
 
     # Reassemble in submission order.
     cells: List[CampaignCell] = []
-    for kind, index in order:
-        if kind == "cell":
-            cells.append(prebuilt[index])
-            continue
-        outcome = outcomes[index]
-        disposition, position = cell_of_outcome[index]
+    for disposition, payload in placements:
         if disposition == "sim":
-            cells.append(aggregated[position])
+            cells.append(aggregated[payload])  # type: ignore[index]
         else:
-            scenario_name, protocol = outcome.tag
-            cells.append(
-                CampaignCell(
-                    scenario=scenario_name,
-                    protocol=protocol,
-                    feasible=False,
-                    solve_error=str(outcome.error),
-                )
-            )
+            cells.append(payload)  # type: ignore[arg-type]
     return CampaignResult(spec=spec, cells=cells)

@@ -104,9 +104,26 @@ class TestReporting:
         assert lines[0].startswith("a")
         assert len(lines) == 4
 
-    def test_format_table_rejects_mismatched_rows(self):
-        with pytest.raises(ConfigurationError):
-            format_table([{"a": 1}, {"b": 2}])
+    def test_format_table_blank_fills_heterogeneous_rows(self):
+        table = format_table([{"a": 1}, {"b": 2}, {"a": 3, "c": 4}])
+        lines = table.splitlines()
+        # Columns are the union of keys, in first-appearance order.
+        assert lines[0].split() == ["a", "b", "c"]
+        assert lines[2].split() == ["1"]  # missing cells are blank
+        assert lines[3].split() == ["2"]
+        assert lines[4].split() == ["3", "4"]
+
+    def test_write_csv_blank_fills_heterogeneous_rows(self, tmp_path: Path):
+        path = write_csv([{"a": 1}, {"b": 2}], tmp_path / "mixed.csv")
+        content = path.read_text().strip().splitlines()
+        assert content[0] == "a,b"
+        assert content[1] == "1,"
+        assert content[2] == ",2"
+
+    def test_solutions_to_rows_blank_fills_missing_solutions(self):
+        rows = solutions_to_rows([None], "Lmax[s]", [2.0])
+        assert rows[0]["Lmax[s]"] == 2.0
+        assert rows[0]["E_star[J/s]"] == ""
 
     def test_format_table_empty(self):
         assert format_table([]) == "(no rows)"

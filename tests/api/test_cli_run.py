@@ -1,0 +1,141 @@
+"""CLI `run` subcommand: exit codes and error paths.
+
+A bad spec must exit nonzero with a one-line ``error:`` message on stderr —
+never a traceback.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+
+
+def write_spec(tmp_path, payload, name="spec.json"):
+    path = tmp_path / name
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+GOOD_SOLVE = {
+    "kind": "solve",
+    "scenario": {"depth": 4, "density": 6, "sampling_period": 600.0},
+    "protocols": ["xmac"],
+    "solver": {"grid_points": 20},
+}
+
+
+class TestRunHappyPath:
+    def test_solve_spec_runs(self, capsys, tmp_path):
+        assert cli_main(["run", write_spec(tmp_path, GOOD_SOLVE)]) == 0
+        out = capsys.readouterr().out
+        assert "E_star" in out
+        assert "sha256" in out
+
+    def test_plan_only_does_not_solve(self, capsys, tmp_path):
+        spec = dict(GOOD_SOLVE, solver={"grid_points": 2000})  # huge grid: would be slow
+        assert cli_main(["run", write_spec(tmp_path, spec), "--plan-only"]) == 0
+        out = capsys.readouterr().out
+        assert "grid_points" in out
+        assert "E_star" not in out
+
+    def test_csv_and_out_exports(self, capsys, tmp_path):
+        csv_path = tmp_path / "rows.csv"
+        json_path = tmp_path / "result.json"
+        code = cli_main(
+            [
+                "run",
+                write_spec(tmp_path, GOOD_SOLVE),
+                "--csv",
+                str(csv_path),
+                "--out",
+                str(json_path),
+            ]
+        )
+        assert code == 0
+        assert csv_path.exists()
+        payload = json.loads(json_path.read_text())
+        assert payload["schema"] == "repro.api.resultset"
+
+    def test_workers_override_is_reported(self, capsys, tmp_path):
+        spec = {
+            "kind": "sweep",
+            "scenario": {"depth": 4, "density": 6, "sampling_period": 600.0},
+            "protocols": ["xmac"],
+            "sweep": {"parameter": "max_delay", "values": [2.0, 4.0]},
+            "solver": {"grid_points": 15},
+        }
+        path = write_spec(tmp_path, spec)
+        assert cli_main(["run", path, "--workers", "2", "--no-cache"]) == 0
+        assert "# runtime: process[2]" in capsys.readouterr().out
+
+    def test_shard_runs_a_subset(self, capsys, tmp_path):
+        spec = {
+            "kind": "sweep",
+            "scenario": {"depth": 4, "density": 6, "sampling_period": 600.0},
+            "protocols": ["xmac"],
+            "sweep": {"parameter": "max_delay", "values": [2.0, 4.0, 6.0]},
+            "solver": {"grid_points": 15},
+        }
+        path = write_spec(tmp_path, spec)
+        assert cli_main(["run", path, "--shard", "0/2", "--plan-only"]) == 0
+        out = capsys.readouterr().out
+        assert "2 unit(s)" in out
+
+
+class TestRunErrorPaths:
+    def assert_clean_error(self, capsys, argv, match):
+        code = cli_main(argv)
+        captured = capsys.readouterr()
+        assert code == 2
+        assert match in captured.err
+        assert captured.err.startswith("error: ")
+        assert "Traceback" not in captured.err
+
+    def test_missing_spec_file(self, capsys, tmp_path):
+        self.assert_clean_error(
+            capsys, ["run", str(tmp_path / "nope.json")], "spec file not found"
+        )
+
+    def test_invalid_json(self, capsys, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        self.assert_clean_error(capsys, ["run", str(path)], "invalid JSON")
+
+    def test_unknown_workload_kind(self, capsys, tmp_path):
+        path = write_spec(tmp_path, {"kind": "frobnicate"})
+        self.assert_clean_error(capsys, ["run", path], "unknown workload kind")
+
+    def test_unknown_protocol(self, capsys, tmp_path):
+        path = write_spec(tmp_path, dict(GOOD_SOLVE, protocols=["nosuchmac"]))
+        self.assert_clean_error(capsys, ["run", path], "unknown protocol")
+
+    def test_infeasible_solve_spec(self, capsys, tmp_path):
+        infeasible = dict(
+            GOOD_SOLVE,
+            requirements={"energy_budget": 1e-9, "max_delay": 1e-3},
+            solver={"grid_points": 10},
+        )
+        path = write_spec(tmp_path, infeasible)
+        code = cli_main(["run", path])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert captured.err.startswith("error: ")
+        assert "Traceback" not in captured.err
+
+    def test_bad_shard_argument(self, capsys, tmp_path):
+        path = write_spec(tmp_path, GOOD_SOLVE)
+        self.assert_clean_error(capsys, ["run", path, "--shard", "half"], "--shard")
+
+    def test_unsupported_suffix(self, capsys, tmp_path):
+        path = tmp_path / "spec.yaml"
+        path.write_text("kind: solve")
+        self.assert_clean_error(capsys, ["run", str(path)], "unsupported spec file type")
+
+    def test_bad_workers_override(self, capsys, tmp_path):
+        path = write_spec(tmp_path, GOOD_SOLVE)
+        self.assert_clean_error(
+            capsys, ["run", path, "--workers", "-2"], "workers must be >= 0"
+        )

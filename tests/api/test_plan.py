@@ -1,0 +1,156 @@
+"""Plan expansion: unit counts, resolution errors, filter/shard."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import ExperimentSpec, plan
+from repro.exceptions import ConfigurationError
+from repro.scenarios import ScenarioSuite, available_scenarios
+from repro.protocols.registry import available_protocols
+
+
+class TestCounts:
+    def test_solve_plan_has_one_unit_per_protocol(self):
+        spec = ExperimentSpec.experiment("solve").with_protocols("xmac", "dmac")
+        units = plan(spec).units
+        assert [unit.protocol for unit in units] == ["xmac", "dmac"]
+        assert all(unit.kind == "game-solve" for unit in units)
+
+    def test_sweep_plan_is_protocol_major(self):
+        spec = (
+            ExperimentSpec.experiment("sweep")
+            .with_protocols("xmac", "lmac")
+            .with_sweep("max_delay", [2.0, 4.0])
+        )
+        units = plan(spec).units
+        assert [(u.protocol, u.settings["value"]) for u in units] == [
+            ("xmac", 2.0),
+            ("xmac", 4.0),
+            ("lmac", 2.0),
+            ("lmac", 4.0),
+        ]
+
+    def test_suite_plan_matches_scenario_suite_pair_count(self):
+        spec = (
+            ExperimentSpec.experiment("suite")
+            .with_scenarios("paper-default", "high-rate", "bursty")
+            .with_protocols("xmac", "lmac")
+        )
+        suite = ScenarioSuite(
+            scenarios=("paper-default", "high-rate", "bursty"),
+            protocols=("xmac", "lmac"),
+        )
+        assert plan(spec).count == suite.pair_count
+
+    def test_suite_plan_defaults_cover_everything(self):
+        expected = len(available_scenarios()) * len(available_protocols())
+        assert plan(ExperimentSpec.experiment("suite")).count == expected
+
+    def test_figure_plans_default_to_the_paper_grid(self):
+        assert plan(ExperimentSpec.experiment("figure1")).count == 3 * 6
+        assert plan(ExperimentSpec.experiment("figure2")).count == 3 * 6
+
+    def test_campaign_plan_is_one_unit_per_cell(self):
+        spec = (
+            ExperimentSpec.experiment("campaign")
+            .with_scenarios("paper-default", "high-rate")
+            .with_protocols("xmac")
+            .with_campaign(replications=3)
+        )
+        units = plan(spec).units
+        assert len(units) == 2
+        assert all(unit.kind == "campaign-cell" for unit in units)
+        assert all(unit.settings["replications"] == 3 for unit in units)
+
+    def test_validate_plan_is_one_unit_per_protocol(self):
+        spec = ExperimentSpec.experiment("validate").with_protocols("xmac", "lmac")
+        units = plan(spec).units
+        assert [unit.kind for unit in units] == ["simulation", "simulation"]
+
+
+class TestResolutionErrors:
+    def test_unknown_protocol(self):
+        spec = ExperimentSpec.experiment("solve").with_protocols("nosuchmac")
+        with pytest.raises(ConfigurationError, match="unknown protocol"):
+            plan(spec)
+
+    def test_unknown_scenario_preset(self):
+        spec = ExperimentSpec.experiment("suite").with_scenarios("nosuchscenario")
+        with pytest.raises(ConfigurationError, match="unknown scenario"):
+            plan(spec)
+
+    def test_unknown_radio_in_inline_scenario(self):
+        spec = (
+            ExperimentSpec.experiment("solve")
+            .with_protocols("xmac")
+            .with_scenario({"radio": "cc9999"})
+        )
+        with pytest.raises(ConfigurationError, match="unknown radio"):
+            plan(spec)
+
+    def test_solve_without_protocols(self):
+        with pytest.raises(ConfigurationError, match="at least one protocol"):
+            plan(ExperimentSpec.experiment("solve"))
+
+    def test_sweep_without_axis(self):
+        spec = ExperimentSpec.experiment("sweep").with_protocols("xmac")
+        with pytest.raises(ConfigurationError, match="needs a sweep axis"):
+            plan(spec)
+
+    def test_figure_axis_mismatch(self):
+        spec = ExperimentSpec.experiment("figure1").with_sweep("energy_budget", [0.02])
+        with pytest.raises(ConfigurationError, match="sweeps 'max_delay'"):
+            plan(spec)
+
+    def test_validate_rejects_analytical_only_protocols(self):
+        spec = ExperimentSpec.experiment("validate").with_protocols("scpmac")
+        with pytest.raises(ConfigurationError, match="no simulated behaviour"):
+            plan(spec)
+
+    def test_campaign_rejects_analytical_only_protocols(self):
+        spec = (
+            ExperimentSpec.experiment("campaign")
+            .with_scenarios("paper-default")
+            .with_protocols("scpmac")
+        )
+        with pytest.raises(ConfigurationError, match="no simulated behaviour"):
+            plan(spec)
+
+    def test_protocol_aliases_resolve(self):
+        spec = ExperimentSpec.experiment("solve").with_protocols("x-mac")
+        assert plan(spec).units[0].protocol == "xmac"
+
+
+class TestFilterShard:
+    @pytest.fixture
+    def figure_plan(self):
+        return plan(ExperimentSpec.experiment("figure1"))
+
+    def test_select_by_protocol(self, figure_plan):
+        sub = figure_plan.select(protocol="xmac")
+        assert sub.count == 6
+        assert sub.protocol_names == ["xmac"]
+
+    def test_filter_preserves_original_indices(self, figure_plan):
+        sub = figure_plan.filter(lambda unit: unit.index % 2 == 1)
+        assert [unit.index for unit in sub.units] == list(range(1, 18, 2))
+
+    def test_shards_partition_the_plan(self, figure_plan):
+        shards = [figure_plan.shard(i, 4) for i in range(4)]
+        assert sum(shard.count for shard in shards) == figure_plan.count
+        seen = sorted(unit.index for shard in shards for unit in shard.units)
+        assert seen == list(range(figure_plan.count))
+
+    def test_shard_bounds_are_checked(self, figure_plan):
+        with pytest.raises(ConfigurationError, match="shard count"):
+            figure_plan.shard(0, 0)
+        with pytest.raises(ConfigurationError, match="shard index"):
+            figure_plan.shard(4, 4)
+
+    def test_plan_rows_are_printable(self, figure_plan):
+        from repro.analysis.reporting import format_table
+
+        table = format_table(figure_plan.rows())
+        assert "xmac" in table
+        assert "parameter" in table.splitlines()[0]

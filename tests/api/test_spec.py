@@ -1,0 +1,163 @@
+"""ExperimentSpec: parsing, fluent construction, serialization, hashing."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import WORKLOAD_KINDS, ExperimentSpec
+from repro.exceptions import ConfigurationError
+
+
+class TestFromDict:
+    def test_minimal_spec_round_trips(self):
+        spec = ExperimentSpec.from_dict({"kind": "solve", "protocols": ["xmac"]})
+        assert spec.kind == "solve"
+        assert spec.protocols == ("xmac",)
+        again = ExperimentSpec.from_dict(spec.to_dict())
+        assert again == spec
+
+    def test_every_kind_is_accepted(self):
+        for kind in WORKLOAD_KINDS:
+            assert ExperimentSpec.from_dict({"kind": kind}).kind == kind
+
+    def test_unknown_kind_is_rejected_with_the_known_list(self):
+        with pytest.raises(ConfigurationError, match="unknown workload kind"):
+            ExperimentSpec.from_dict({"kind": "frobnicate"})
+        with pytest.raises(ConfigurationError, match="solve"):
+            ExperimentSpec.from_dict({"kind": "frobnicate"})
+
+    def test_missing_kind_is_rejected(self):
+        with pytest.raises(ConfigurationError, match="needs a 'kind'"):
+            ExperimentSpec.from_dict({"protocols": ["xmac"]})
+
+    def test_unknown_top_level_key_is_named(self):
+        with pytest.raises(ConfigurationError, match="workers_count"):
+            ExperimentSpec.from_dict({"kind": "solve", "workers_count": 4})
+
+    def test_unknown_nested_key_is_named(self):
+        with pytest.raises(ConfigurationError, match="horizons"):
+            ExperimentSpec.from_dict({"kind": "validate", "simulation": {"horizons": 1}})
+
+    def test_sweep_parameter_aliases_are_normalized(self):
+        spec = ExperimentSpec.from_dict(
+            {"kind": "sweep", "sweep": {"parameter": "max-delay", "values": [1.0]}}
+        )
+        assert spec.sweep.parameter == "max_delay"
+
+    def test_sweep_needs_parameter_and_values(self):
+        with pytest.raises(ConfigurationError, match="parameter"):
+            ExperimentSpec.from_dict({"kind": "sweep", "sweep": {"values": [1.0]}})
+        with pytest.raises(ConfigurationError, match="empty"):
+            ExperimentSpec.from_dict(
+                {"kind": "sweep", "sweep": {"parameter": "max_delay", "values": []}}
+            )
+
+    def test_inline_scenario_keys_are_checked(self):
+        with pytest.raises(ConfigurationError, match="rings"):
+            ExperimentSpec.from_dict({"kind": "solve", "scenario": {"rings": 5}})
+
+    def test_non_mapping_payload_is_rejected(self):
+        with pytest.raises(ConfigurationError, match="mapping"):
+            ExperimentSpec.from_dict(["kind", "solve"])  # type: ignore[arg-type]
+
+
+class TestLoaders:
+    def test_from_json(self):
+        spec = ExperimentSpec.from_json('{"kind": "figure1"}')
+        assert spec.kind == "figure1"
+
+    def test_from_json_syntax_error_is_clean(self):
+        with pytest.raises(ConfigurationError, match="invalid JSON"):
+            ExperimentSpec.from_json("{not json}")
+
+    def test_from_toml(self):
+        pytest.importorskip("tomllib")
+        spec = ExperimentSpec.from_toml(
+            'kind = "sweep"\nprotocols = ["xmac"]\n\n[sweep]\nparameter = "max_delay"\nvalues = [2.0, 4.0]\n'
+        )
+        assert spec.sweep.values == (2.0, 4.0)
+
+    def test_from_file_json(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps({"kind": "suite"}))
+        assert ExperimentSpec.from_file(path).kind == "suite"
+
+    def test_from_file_missing(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="spec file not found"):
+            ExperimentSpec.from_file(tmp_path / "nope.json")
+
+    def test_from_file_unsupported_suffix(self, tmp_path):
+        path = tmp_path / "spec.yaml"
+        path.write_text("kind: solve")
+        with pytest.raises(ConfigurationError, match="unsupported spec file type"):
+            ExperimentSpec.from_file(path)
+
+
+class TestFluent:
+    def test_fluent_builder_matches_dict_form(self):
+        fluent = (
+            ExperimentSpec.experiment("sweep", name="demo")
+            .with_scenario("paper-default")
+            .with_protocols("xmac")
+            .with_sweep("max_delay", [2.0, 4.0])
+            .with_requirements(energy_budget=0.05)
+            .with_solver(grid_points=30)
+            .with_runtime(workers=2, cache=False)
+        )
+        parsed = ExperimentSpec.from_dict(
+            {
+                "kind": "sweep",
+                "name": "demo",
+                "scenario": "paper-default",
+                "protocols": ["xmac"],
+                "sweep": {"parameter": "max_delay", "values": [2.0, 4.0]},
+                "requirements": {"energy_budget": 0.05},
+                "solver": {"grid_points": 30},
+                "runtime": {"workers": 2, "cache": False},
+            }
+        )
+        assert fluent == parsed
+
+    def test_fluent_steps_do_not_mutate(self):
+        base = ExperimentSpec.experiment("solve")
+        derived = base.with_protocols("xmac")
+        assert base.protocols == ()
+        assert derived.protocols == ("xmac",)
+
+    def test_with_requirements_merges_like_the_other_builders(self):
+        spec = (
+            ExperimentSpec.experiment("solve")
+            .with_requirements(energy_budget=0.02)
+            .with_requirements(max_delay=2.0)
+        )
+        assert spec.requirements.energy_budget == 0.02
+        assert spec.requirements.max_delay == 2.0
+
+    def test_with_solver_merges_extra_options(self):
+        spec = (
+            ExperimentSpec.experiment("solve")
+            .with_solver(grid_points=20, random_starts=2)
+            .with_solver(random_starts=3)
+        )
+        assert spec.solver.grid_points == 20
+        assert spec.solver.options == {"random_starts": 3}
+
+
+class TestHash:
+    def test_hash_is_stable_and_64_hex_chars(self):
+        spec = ExperimentSpec.experiment("suite").with_protocols("xmac")
+        assert spec.spec_hash() == spec.spec_hash()
+        assert len(spec.spec_hash()) == 64
+        int(spec.spec_hash(), 16)  # hex
+
+    def test_hash_changes_with_the_workload(self):
+        base = ExperimentSpec.experiment("suite").with_protocols("xmac")
+        assert base.spec_hash() != base.with_protocols("lmac").spec_hash()
+        assert base.spec_hash() != base.with_solver(grid_points=10).spec_hash()
+
+    def test_runtime_policy_does_not_change_provenance(self):
+        base = ExperimentSpec.experiment("suite").with_protocols("xmac")
+        parallel = base.with_runtime(workers=8, cache=False)
+        assert base.spec_hash() == parallel.spec_hash()

@@ -18,6 +18,9 @@ Checks, over ``README.md`` and ``docs/*.md``:
    rendering of the scenario registry, and ``docs/validation.md``
    regenerates byte-identically from the committed campaign artifact
    ``docs/validation_campaign.json``.
+4. **Spec snippets parse** — every fenced ```` ```json ```` block in
+   ``docs/api.md`` is a valid experiment spec: it must load with
+   ``json.loads`` and construct through ``ExperimentSpec.from_dict``.
 
 Exit status 0 when everything passes, 1 otherwise (with one line per
 problem).
@@ -181,6 +184,47 @@ def check_generated(root: Path) -> List[str]:
     return problems
 
 
+def json_spec_blocks(markdown: str) -> Iterable[Tuple[int, str]]:
+    """Yield ``(line_number, source)`` for fenced ``json`` blocks."""
+    for match in _FENCE_PATTERN.finditer(markdown):
+        language, body = match.group(1), match.group(2)
+        if language != "json":
+            continue
+        line = markdown.count("\n", 0, match.start()) + 1
+        yield line, body
+
+
+def check_spec_snippets(root: Path) -> List[str]:
+    """Invalid experiment-spec snippets in ``docs/api.md`` (empty when clean).
+
+    The API documentation promises that every JSON block is a loadable
+    :class:`~repro.api.spec.ExperimentSpec`; this check keeps the promise
+    honest by constructing each one through ``ExperimentSpec.from_dict``.
+    """
+    import json
+
+    page = root / "docs" / "api.md"
+    if not page.exists():
+        return []
+    from repro.api import ExperimentSpec
+    from repro.exceptions import ReproError
+
+    problems: List[str] = []
+    markdown = page.read_text(encoding="utf-8")
+    for line, body in json_spec_blocks(markdown):
+        name = f"{page.relative_to(root)}:{line}"
+        try:
+            payload = json.loads(body)
+        except json.JSONDecodeError as error:
+            problems.append(f"{name}: spec snippet is not valid JSON — {error}")
+            continue
+        try:
+            ExperimentSpec.from_dict(payload)
+        except ReproError as error:
+            problems.append(f"{name}: spec snippet does not parse — {error}")
+    return problems
+
+
 def run_checks(root: Path) -> List[str]:
     """All documentation problems under ``root`` (empty when clean)."""
     problems: List[str] = []
@@ -188,6 +232,7 @@ def run_checks(root: Path) -> List[str]:
         problems.extend(check_links(path, root))
         problems.extend(check_doctests(path, root))
     problems.extend(check_generated(root))
+    problems.extend(check_spec_snippets(root))
     return problems
 
 
