@@ -44,7 +44,7 @@ from repro.protocols.registry import (
 )
 from repro.scenario import Scenario
 from repro.scenarios.presets import scenario_preset
-from repro.simulation.mac.factory import has_behaviour_for
+from repro.simulation.mac.factory import available_mac_protocols, has_behaviour_for
 from repro.validation.campaign import CampaignSpec
 
 #: Default application requirements of the ``solve``/``sweep`` kinds (the
@@ -393,7 +393,8 @@ def _plan_validate(spec: ExperimentSpec) -> List[WorkUnit]:
         if not has_behaviour_for(protocol_class(protocol)):
             raise ConfigurationError(
                 f"protocol {protocol!r} has no simulated behaviour and cannot "
-                f"be validated by simulation"
+                f"be validated by simulation; protocols with a simulator: "
+                f"{', '.join(available_mac_protocols())}"
             )
     simulation = spec.simulation
     return [

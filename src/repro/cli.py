@@ -33,6 +33,7 @@ from repro.exceptions import ConfigurationError, ReproError
 from repro.protocols.registry import available_protocols
 from repro.runtime import BatchRunner
 from repro.scenarios import available_scenarios, scenario_presets
+from repro.simulation.mac.factory import available_mac_protocols
 from repro.validation import write_campaign
 
 
@@ -42,6 +43,20 @@ def _print_runtime_summary(runner: BatchRunner) -> None:
     if runner.cache is not None:
         line += f" — cache: {stats.hits} hits / {stats.misses} misses"
     print(line)
+
+
+def _split_names(values: Optional[Sequence[str]]) -> tuple:
+    """Flatten name lists given space- and/or comma-separated.
+
+    ``--protocols xmac lmac`` and ``--protocols xmac,lmac`` (or any mix)
+    yield the same tuple; ``None``/empty stays empty (the kind's default).
+    """
+    if not values:
+        return ()
+    names = []
+    for value in values:
+        names.extend(part.strip() for part in value.split(",") if part.strip())
+    return tuple(names)
 
 
 def _scenario_ref(args: argparse.Namespace) -> dict:
@@ -200,8 +215,8 @@ def _cmd_figure(args: argparse.Namespace, which: int) -> int:
 def _cmd_suite(args: argparse.Namespace) -> int:
     spec = (
         ExperimentSpec.experiment("suite")
-        .with_scenarios(*(args.scenarios or ()))
-        .with_protocols(*(args.protocols or ()))
+        .with_scenarios(*_split_names(args.scenarios))
+        .with_protocols(*_split_names(args.protocols))
         .with_solver(grid_points=args.grid_points)
         .with_runtime(**_runtime_kwargs(args))
     )
@@ -241,8 +256,8 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 def _cmd_validate_campaign(args: argparse.Namespace) -> int:
     spec = (
         ExperimentSpec.experiment("campaign")
-        .with_scenarios(*(args.scenarios or ()))
-        .with_protocols(*(args.protocols or ()))
+        .with_scenarios(*_split_names(args.scenarios))
+        .with_protocols(*_split_names(args.protocols))
         .with_campaign(
             replications=args.replications,
             base_seed=args.base_seed,
@@ -318,7 +333,9 @@ def build_parser() -> argparse.ArgumentParser:
     protocols_parser.set_defaults(handler=_cmd_protocols)
 
     solve_parser = subparsers.add_parser("solve", help="solve the game for one protocol")
-    solve_parser.add_argument("protocol", help="protocol name (xmac, dmac, lmac, scpmac)")
+    solve_parser.add_argument(
+        "protocol", help=f"protocol name ({', '.join(available_protocols())})"
+    )
     solve_parser.add_argument("--energy-budget", type=float, default=0.06)
     solve_parser.add_argument("--max-delay", type=float, default=6.0)
     _add_scenario_arguments(solve_parser)
@@ -367,7 +384,7 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="+",
         default=None,
         metavar="NAME",
-        help="protocols to run (default: all registered)",
+        help="protocols to run, space- or comma-separated (default: all registered)",
     )
     suite_parser.add_argument(
         "--energy-budget",
@@ -416,7 +433,10 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="+",
         default=None,
         metavar="NAME",
-        help="protocols to cover (default: all with a simulated behaviour)",
+        help=(
+            "protocols to cover, space- or comma-separated (default: all "
+            f"with a simulated behaviour — {', '.join(available_mac_protocols())})"
+        ),
     )
     campaign_parser.add_argument(
         "--replications",

@@ -65,6 +65,24 @@ class SCPMACModel(DutyCycledMACModel):
             )
 
     # ------------------------------------------------------------------ #
+    # Synchronization constants (shared with the simulated behaviour)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def sync_error(self) -> float:
+        """Residual clock synchronization error (seconds).
+
+        The wakeup tone spans twice this value; the simulated behaviour
+        reads it so simulator and closed-form model describe the same tone.
+        """
+        return self._sync_error
+
+    @property
+    def sync_period(self) -> float:
+        """Interval (seconds) between periodic SYNC exchanges."""
+        return self._sync_period
+
+    # ------------------------------------------------------------------ #
     # Parameter space
     # ------------------------------------------------------------------ #
 

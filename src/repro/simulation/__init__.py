@@ -2,10 +2,12 @@
 
 The paper is purely analytical; this subpackage provides the evaluation
 substrate it leans on: an operational, event-driven simulation of X-MAC,
-DMAC and LMAC on a concrete gathering tree, with per-node radio-state energy
-accounting and per-packet end-to-end delay measurement.  It is used to
-validate the analytical models (see
-:mod:`repro.analysis.validation` and ``benchmarks/bench_simulation_validation.py``).
+DMAC, LMAC and SCP-MAC on a concrete gathering tree, with per-node
+radio-state energy accounting and per-packet end-to-end delay measurement.
+All four behaviours share the duty-cycle MAC kernel in
+:mod:`repro.simulation.mac.base`.  It is used to validate the analytical
+models (see :mod:`repro.analysis.validation` and
+``benchmarks/bench_simulation_validation.py``).
 
 Fidelity level: the simulator works at the granularity of *forwarding
 operations* (channel polls, strobe trains, slots, data/ack exchanges), not

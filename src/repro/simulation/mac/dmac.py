@@ -7,23 +7,33 @@ packet picked up by the departure wave moves one hop per slot all the way to
 the sink.  The per-frame receive/transmit slot listening is the periodic
 cost; per-packet costs are the contention, data and acknowledgement
 exchanges.
+
+Only the staggered-schedule logic lives here; the contention window, the
+data/ack accounting and the periodic-cost closed form come from the
+:class:`~repro.simulation.mac.base.DutyCycleKernel`.
 """
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from typing import Mapping, Sequence, Tuple
 
 import numpy as np
 
-from repro.network.radio import RadioMode
 from repro.protocols.base import DutyCycledMACModel
 from repro.protocols.dmac import DMACModel
 from repro.simulation.channel import Channel
-from repro.simulation.mac.base import HopOutcome, MACSimBehaviour, next_occurrence
+from repro.simulation.mac.base import (
+    DutyCycleKernel,
+    HopOutcome,
+    KernelState,
+    MediumGrant,
+    PeriodicCharge,
+    next_occurrence,
+)
 from repro.simulation.node import SensorNode
 
 
-class DMACSimBehaviour(MACSimBehaviour):
+class DMACSimBehaviour(DutyCycleKernel):
     """Operational simulation of DMAC for one parameter setting."""
 
     name = "DMAC"
@@ -40,10 +50,6 @@ class DMACSimBehaviour(MACSimBehaviour):
         self._frame = self._params[DMACModel.FRAME_LENGTH]
         self._slot = model.slot_time
         self._contention = model._contention_window  # noqa: SLF001 - same package family
-        radio = self._radio
-        packets = self._packets
-        self._data = packets.data_airtime(radio)
-        self._ack = packets.ack_airtime(radio)
         self._depth = self._scenario.depth
 
     # ------------------------------------------------------------------ #
@@ -60,56 +66,93 @@ class DMACSimBehaviour(MACSimBehaviour):
             return 0.0
         return self._tx_offset(node.ring)
 
-    def charge_periodic_energy(self, node: SensorNode, horizon: float) -> None:
+    def periodic_charges(self) -> Tuple[PeriodicCharge, ...]:
         """Receive slot + transmit slot idle listening every frame."""
-        frames = int(horizon / self._frame)
-        node.energy.record(
-            RadioMode.RX, 0.0, frames * 2.0 * self._slot, activity="slot-listen"
+        return (
+            PeriodicCharge(
+                state=KernelState.RX_CONTROL,
+                interval=self._frame,
+                duration=self._slot,
+                multiplier=2,
+                activity="slot-listen",
+            ),
         )
 
     # ------------------------------------------------------------------ #
-    # Forwarding
+    # Hop transitions
     # ------------------------------------------------------------------ #
 
-    def plan_hop(
+    def acquire_grant(
         self,
         sender: SensorNode,
         receiver: SensorNode,
         now: float,
         channel: Channel,
-        overhearers: Sequence[SensorNode],
-    ) -> HopOutcome:
-        """Wait for the sender's transmit slot, contend briefly, then exchange."""
+    ) -> MediumGrant:
+        """Wait for the sender's transmit slot and contend briefly.
+
+        Same-ring neighbours contend within the shared transmit slot: defer
+        behind an ongoing transmission if the exchange still fits in the
+        slot, otherwise retry in the next frame's transmit slot (the
+        kernel's slot-overflow RETRY transition).
+        """
         slot_start = next_occurrence(now, self._frame, sender.phase)
-        contention = 0.5 * self._contention + self.backoff(0.5 * self._contention)
-        airtime = self._data + self._radio.turnaround_time + self._ack
-        # Same-ring neighbours contend within the shared transmit slot: defer
-        # behind an ongoing transmission if the exchange still fits in the
-        # slot, otherwise retry in the next frame's transmit slot.
+        contention = self.contention_delay(self._contention)
+        airtime = self._exchange
         start = channel.free_at(sender.node_id, slot_start)
         if start + contention + airtime > slot_start + self._slot:
             slot_start = next_occurrence(slot_start + self._slot, self._frame, sender.phase)
             start = max(slot_start, channel.free_at(sender.node_id, slot_start))
-        transmission_start = start + contention
+        return MediumGrant(
+            start=start,
+            transmission_start=start + contention,
+            info={"contention": contention},
+        )
+
+    def perform_exchange(
+        self,
+        grant: MediumGrant,
+        sender: SensorNode,
+        receiver: SensorNode,
+        channel: Channel,
+    ) -> HopOutcome:
+        """Contention listen, then the data/ack exchange."""
+        transmission_start = grant.transmission_start
+        airtime = self._exchange
         completion = transmission_start + airtime
         channel.reserve(sender.node_id, transmission_start, airtime)
 
-        sender.energy.record(RadioMode.RX, start, contention, activity="contention")
-        sender.energy.record(RadioMode.TX, transmission_start, self._data, activity="data-tx")
-        sender.energy.record(RadioMode.RX, transmission_start, self._ack, activity="ack-rx")
-
+        self.charge(
+            sender,
+            KernelState.CONTEND,
+            grant.start,
+            grant.info["contention"],
+            activity="contention",
+        )
+        self.charge_sender_data_ack(sender, transmission_start)
         # The receiver is awake in its receive slot anyway (periodic cost);
         # only the acknowledgement transmission is extra.
-        receiver.energy.record(RadioMode.TX, completion, self._ack, activity="ack-tx")
-
-        # Same-ring neighbours awake in the overlapping slot overhear the data.
-        for neighbour in overhearers:
-            if neighbour.ring == sender.ring:
-                neighbour.energy.record(
-                    RadioMode.RX, transmission_start, self._data, activity="overhear"
-                )
+        self.charge_receiver_ack(receiver, completion)
         return HopOutcome(
             transmission_start=transmission_start,
             completion=completion,
             airtime=airtime,
         )
+
+    def charge_overhearers(
+        self,
+        grant: MediumGrant,
+        outcome: HopOutcome,
+        sender: SensorNode,
+        overhearers: Sequence[SensorNode],
+    ) -> None:
+        """Same-ring neighbours awake in the overlapping slot overhear the data."""
+        for neighbour in overhearers:
+            if neighbour.ring == sender.ring:
+                self.charge(
+                    neighbour,
+                    KernelState.OVERHEAR,
+                    outcome.transmission_start,
+                    self._data,
+                    activity="overhear",
+                )

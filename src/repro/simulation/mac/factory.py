@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence, Type
+from typing import List, Mapping, Sequence, Type
 
 import numpy as np
 
@@ -10,10 +10,13 @@ from repro.exceptions import SimulationError
 from repro.protocols.base import DutyCycledMACModel
 from repro.protocols.dmac import DMACModel
 from repro.protocols.lmac import LMACModel
+from repro.protocols.registry import available_protocols, protocol_class
+from repro.protocols.scpmac import SCPMACModel
 from repro.protocols.xmac import XMACModel
 from repro.simulation.mac.base import MACSimBehaviour
 from repro.simulation.mac.dmac import DMACSimBehaviour
 from repro.simulation.mac.lmac import LMACSimBehaviour
+from repro.simulation.mac.scpmac import SCPMACSimBehaviour
 from repro.simulation.mac.xmac import XMACSimBehaviour
 
 #: Analytical-model class → simulated-behaviour class.
@@ -21,6 +24,7 @@ _BEHAVIOURS: dict[Type[DutyCycledMACModel], Type[MACSimBehaviour]] = {
     XMACModel: XMACSimBehaviour,
     DMACModel: DMACSimBehaviour,
     LMACModel: LMACSimBehaviour,
+    SCPMACModel: SCPMACSimBehaviour,
 }
 
 
@@ -41,6 +45,27 @@ def has_behaviour_for(model_class: Type[DutyCycledMACModel]) -> bool:
     )
 
 
+def available_mac_protocols() -> List[str]:
+    """Canonical names of the registered protocols that can be simulated.
+
+    Cross-references the protocol name registry with the behaviour registry,
+    so callers (spec validation, campaign assembly, CLI help) can tell
+    *simulatable* protocols apart from analytical-only ones by name before
+    any model is constructed.
+
+    Returns:
+        Sorted canonical protocol names with a registered simulated
+        behaviour (all four built-ins: ``dmac``, ``lmac``, ``scpmac``,
+        ``xmac`` — plus any user-registered protocol whose model class has
+        a behaviour registered via :func:`register_behaviour`).
+    """
+    return [
+        name
+        for name in available_protocols()
+        if has_behaviour_for(protocol_class(name))
+    ]
+
+
 def behaviour_for_model(
     model: DutyCycledMACModel,
     params: Mapping[str, float] | Sequence[float] | np.ndarray,
@@ -58,14 +83,16 @@ def behaviour_for_model(
 
     Raises:
         SimulationError: if the model has no registered simulated
-            counterpart (e.g. SCP-MAC, which is analytical-only).
+            counterpart (an analytical-only user-registered protocol); the
+            message lists the simulatable protocol names.
     """
     for model_class, behaviour_class in _BEHAVIOURS.items():
         if isinstance(model, model_class):
             return behaviour_class(model, params, rng)
     raise SimulationError(
-        f"no simulated behaviour is registered for {type(model).__name__}; "
-        f"simulable protocols: {[cls.__name__ for cls in _BEHAVIOURS]}"
+        f"no simulated behaviour is registered for {type(model).__name__} "
+        f"({model.name}); protocols with a simulator: "
+        f"{', '.join(available_mac_protocols())}"
     )
 
 

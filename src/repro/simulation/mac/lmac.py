@@ -6,23 +6,35 @@ protocol itself is out of scope and replaced by a collision-free random
 assignment per node).  Nodes listen to the control section of every slot
 (periodic cost) and transmit their own control message once per frame; data
 units ride in the owner's slot, addressed to the tree parent.
+
+Only the slot-ownership logic lives here; scheduling, the periodic-cost
+closed form and the data exchange accounting come from the
+:class:`~repro.simulation.mac.base.DutyCycleKernel`.  LMAC keeps the
+kernel's no-op overhearing transition: neighbourhood listening is already
+part of the per-frame control-section cost.
 """
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from typing import Mapping, Sequence, Tuple
 
 import numpy as np
 
-from repro.network.radio import RadioMode
 from repro.protocols.base import DutyCycledMACModel
 from repro.protocols.lmac import LMACModel
 from repro.simulation.channel import Channel
-from repro.simulation.mac.base import HopOutcome, MACSimBehaviour, next_occurrence
+from repro.simulation.mac.base import (
+    DutyCycleKernel,
+    HopOutcome,
+    KernelState,
+    MediumGrant,
+    PeriodicCharge,
+    next_occurrence,
+)
 from repro.simulation.node import SensorNode
 
 
-class LMACSimBehaviour(MACSimBehaviour):
+class LMACSimBehaviour(DutyCycleKernel):
     """Operational simulation of LMAC for one parameter setting."""
 
     name = "LMAC"
@@ -39,12 +51,9 @@ class LMACSimBehaviour(MACSimBehaviour):
         self._slot_length = self._params[LMACModel.SLOT_LENGTH]
         self._slot_count = int(round(self._params[LMACModel.SLOT_COUNT]))
         self._frame = self._slot_length * self._slot_count
-        radio = self._radio
-        packets = self._packets
-        self._control = packets.control_airtime(radio)
-        self._data = packets.data_airtime(radio)
+        self._control = self._packets.control_airtime(self._radio)
         self._guard = model._guard_time  # noqa: SLF001 - same package family
-        self._wakeup = radio.wakeup_time
+        self._wakeup = self._radio.wakeup_time
 
     # ------------------------------------------------------------------ #
     # Periodic behaviour
@@ -55,57 +64,68 @@ class LMACSimBehaviour(MACSimBehaviour):
         slot_index = int(self._rng.integers(0, self._slot_count))
         return slot_index * self._slot_length
 
-    def charge_periodic_energy(self, node: SensorNode, horizon: float) -> None:
+    def periodic_charges(self) -> Tuple[PeriodicCharge, ...]:
         """Listen to every other slot's control section; send own control."""
-        frames = int(horizon / self._frame)
-        listen_per_slot = self._control + self._guard + self._wakeup
-        node.energy.record(
-            RadioMode.RX,
-            0.0,
-            frames * (self._slot_count - 1) * listen_per_slot,
-            activity="control-listen",
-        )
-        node.energy.record(
-            RadioMode.TX,
-            0.0,
-            frames * (self._control + self._wakeup),
-            activity="control-tx",
+        return (
+            PeriodicCharge(
+                state=KernelState.RX_CONTROL,
+                interval=self._frame,
+                duration=self._control + self._guard + self._wakeup,
+                multiplier=self._slot_count - 1,
+                activity="control-listen",
+            ),
+            PeriodicCharge(
+                state=KernelState.TX_CONTROL,
+                interval=self._frame,
+                duration=self._control + self._wakeup,
+                activity="control-tx",
+            ),
         )
 
     # ------------------------------------------------------------------ #
-    # Forwarding
+    # Hop transitions
     # ------------------------------------------------------------------ #
 
-    def plan_hop(
+    def acquire_grant(
         self,
         sender: SensorNode,
         receiver: SensorNode,
         now: float,
         channel: Channel,
-        overhearers: Sequence[SensorNode],
-    ) -> HopOutcome:
-        """Wait for the sender's own slot, announce in the control section,
-        then transmit the data unit to the parent."""
-        del overhearers  # control-section listening is already charged per frame
+    ) -> MediumGrant:
+        """Wait for the sender's own slot (retry a frame later if occupied)."""
         slot_start = next_occurrence(now, self._frame, sender.phase)
         # Slot ownership is collision-free by construction; the medium check
         # only guards against the (rare) case of overlapping random slots.
         start = channel.free_at(sender.node_id, slot_start)
         if start > slot_start:
             start = next_occurrence(start, self._frame, sender.phase)
-        data_start = start + self._guard + self._control
+        return MediumGrant(
+            start=start, transmission_start=start + self._guard + self._control
+        )
+
+    def perform_exchange(
+        self,
+        grant: MediumGrant,
+        sender: SensorNode,
+        receiver: SensorNode,
+        channel: Channel,
+    ) -> HopOutcome:
+        """Announce in the control section, then send the data unit."""
+        data_start = grant.transmission_start
         completion = data_start + self._data
         airtime = self._guard + self._control + self._data
-        channel.reserve(sender.node_id, start, airtime)
+        channel.reserve(sender.node_id, grant.start, airtime)
 
         # The sender's control transmission is part of the periodic cost;
-        # only the data unit is charged per packet.
-        sender.energy.record(RadioMode.TX, data_start, self._data, activity="data-tx")
+        # only the data unit is charged per packet.  LMAC data units are
+        # not acknowledged — the next frame's control section confirms.
+        self.charge_sender_data_ack(sender, data_start, ack=False)
         # The receiver was listening to the control section anyway (periodic);
         # staying awake for the addressed data unit is the extra cost.
-        receiver.energy.record(RadioMode.RX, data_start, self._data, activity="data-rx")
+        self.charge_receiver_data_ack(receiver, data_start, ack=False)
         return HopOutcome(
-            transmission_start=start,
+            transmission_start=grant.start,
             completion=completion,
             airtime=airtime,
         )

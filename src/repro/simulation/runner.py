@@ -74,6 +74,8 @@ class SimulationResult:
         dropped_packets: Packets dropped at full queues.
         channel_transmissions: Number of medium reservations.
         channel_deferrals: Number of carrier-sense deferrals.
+        processed_events: Number of discrete events the engine processed
+            (used by ``benchmarks/bench_simulator.py`` for events/second).
     """
 
     protocol: str
@@ -87,6 +89,7 @@ class SimulationResult:
     dropped_packets: int = 0
     channel_transmissions: int = 0
     channel_deferrals: int = 0
+    processed_events: int = 0
 
     # ------------------------------------------------------------------ #
     # Aggregates mirrored on the analytical model
@@ -146,6 +149,7 @@ class SimulationResult:
             "dropped": self.dropped_packets,
             "transmissions": self.channel_transmissions,
             "deferrals": self.channel_deferrals,
+            "events": self.processed_events,
         }
 
 
@@ -309,6 +313,7 @@ class _SimulationRun:
             dropped_packets=dropped,
             channel_transmissions=self._channel.transmissions,
             channel_deferrals=self._channel.deferrals,
+            processed_events=self._simulator.processed_events,
         )
 
 
@@ -333,6 +338,7 @@ def simulate_protocol(
 
     Raises:
         SimulationError: if the model's protocol has no registered simulated
-            behaviour (e.g. SCP-MAC) or the configuration is inconsistent.
+            behaviour (an analytical-only user-registered protocol) or the
+            configuration is inconsistent.
     """
     return _SimulationRun(model, params, config or SimulationConfig()).run()

@@ -31,14 +31,10 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.exceptions import ConfigurationError, ValidationError
-from repro.protocols.registry import (
-    available_protocols,
-    canonical_name,
-    protocol_class,
-)
+from repro.protocols.registry import canonical_name, protocol_class
 from repro.runtime import BatchRunner, default_runner
 from repro.scenarios.presets import available_scenarios, scenario_preset
-from repro.simulation.mac.factory import has_behaviour_for
+from repro.simulation.mac.factory import available_mac_protocols, has_behaviour_for
 from repro.simulation.runner import SimulationConfig, simulate_protocol
 from repro.validation.stats import MetricAggregate, StreamingMoments
 
@@ -76,8 +72,9 @@ class CampaignSpec:
 
     Attributes:
         scenarios: Scenario preset names to cover (default: all registered).
-        protocols: Protocol names to cover (default: all *simulable* paper
-            protocols — SCP-MAC is analytical-only and excluded).
+        protocols: Protocol names to cover (default: every registered
+            protocol with a simulated behaviour — all four built-ins,
+            including SCP-MAC).
         replications: Independently seeded simulation runs per cell.
         base_seed: Base seed every replication seed is derived from.
         horizon: Simulated duration of each replication (seconds).
@@ -115,7 +112,7 @@ class CampaignSpec:
                 raise ConfigurationError(
                     f"protocol {name!r} has no simulated behaviour and cannot "
                     f"be validated by simulation; simulable protocols: "
-                    f"{', '.join(_simulable_protocols())}"
+                    f"{', '.join(available_mac_protocols())}"
                 )
         object.__setattr__(self, "scenarios", scenarios)
         object.__setattr__(self, "protocols", protocols)
@@ -164,14 +161,11 @@ class CampaignSpec:
 def _simulable_protocols() -> Tuple[str, ...]:
     """Registered protocols that have a simulated behaviour.
 
-    Queries the behaviour registry, so analytical-only models (SCP-MAC, or
-    user-registered protocols without a registered behaviour) are excluded.
+    Delegates to :func:`repro.simulation.mac.factory.available_mac_protocols`,
+    so analytical-only models (user-registered protocols without a
+    registered behaviour) are excluded.
     """
-    return tuple(
-        name
-        for name in available_protocols()
-        if has_behaviour_for(protocol_class(name))
-    )
+    return tuple(available_mac_protocols())
 
 
 @dataclass(frozen=True)

@@ -139,3 +139,22 @@ class TestRunErrorPaths:
         self.assert_clean_error(
             capsys, ["run", path, "--workers", "-2"], "workers must be >= 0"
         )
+
+
+class TestNameListSplitting:
+    """--scenarios/--protocols accept space- and/or comma-separated names."""
+
+    @pytest.mark.parametrize(
+        "values, expected",
+        [
+            (None, ()),
+            (["xmac", "lmac"], ("xmac", "lmac")),
+            (["xmac,lmac,dmac,scpmac"], ("xmac", "lmac", "dmac", "scpmac")),
+            (["xmac,lmac", "scpmac"], ("xmac", "lmac", "scpmac")),
+            (["xmac, lmac,"], ("xmac", "lmac")),
+        ],
+    )
+    def test_split_names(self, values, expected):
+        from repro.cli import _split_names
+
+        assert _split_names(values) == expected

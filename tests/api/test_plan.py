@@ -103,19 +103,33 @@ class TestResolutionErrors:
         with pytest.raises(ConfigurationError, match="sweeps 'max_delay'"):
             plan(spec)
 
-    def test_validate_rejects_analytical_only_protocols(self):
-        spec = ExperimentSpec.experiment("validate").with_protocols("scpmac")
-        with pytest.raises(ConfigurationError, match="no simulated behaviour"):
+    def test_validate_rejects_analytical_only_protocols(self, analytical_only_protocol):
+        spec = ExperimentSpec.experiment("validate").with_protocols(
+            analytical_only_protocol
+        )
+        # The error names the protocols that *do* have a simulator, so the
+        # spec author learns the fix without a deep runtime failure.
+        with pytest.raises(ConfigurationError, match="no simulated behaviour.*scpmac"):
             plan(spec)
 
-    def test_campaign_rejects_analytical_only_protocols(self):
+    def test_campaign_rejects_analytical_only_protocols(self, analytical_only_protocol):
         spec = (
             ExperimentSpec.experiment("campaign")
             .with_scenarios("paper-default")
-            .with_protocols("scpmac")
+            .with_protocols(analytical_only_protocol)
         )
         with pytest.raises(ConfigurationError, match="no simulated behaviour"):
             plan(spec)
+
+    def test_validate_and_campaign_accept_scpmac(self):
+        validate = ExperimentSpec.experiment("validate").with_protocols("scpmac")
+        assert plan(validate).protocol_names == ["scpmac"]
+        campaign = (
+            ExperimentSpec.experiment("campaign")
+            .with_scenarios("paper-default")
+            .with_protocols("xmac", "scpmac")
+        )
+        assert plan(campaign).protocol_names == ["xmac", "scpmac"]
 
     def test_protocol_aliases_resolve(self):
         spec = ExperimentSpec.experiment("solve").with_protocols("x-mac")

@@ -2,17 +2,63 @@
 
 from __future__ import annotations
 
+from functools import cached_property
+
 import pytest
 
+from repro.core.parameters import Parameter, ParameterSpace
 from repro.core.requirements import ApplicationRequirements
 from repro.network.packets import PacketModel
 from repro.network.radio import cc2420
 from repro.network.topology import RingTopology
+from repro.protocols.base import DutyCycledMACModel, EnergyBreakdown
 from repro.protocols.dmac import DMACModel
 from repro.protocols.lmac import LMACModel
+from repro.protocols.registry import register_protocol, unregister_protocol
 from repro.protocols.scpmac import SCPMACModel
 from repro.protocols.xmac import XMACModel
 from repro.scenario import Scenario
+
+
+class AnalyticalOnlyMAC(DutyCycledMACModel):
+    """A minimal protocol model with no simulated behaviour.
+
+    All four built-in protocols have simulators, so the tests that exercise
+    the "analytical-only protocol" error paths (spec validation, campaign
+    assembly, the behaviour factory) register this stand-in instead.
+    """
+
+    name = "Analytical-Only"
+    family = "test"
+
+    @cached_property
+    def parameter_space(self) -> ParameterSpace:
+        return ParameterSpace(
+            [
+                Parameter(
+                    name="interval",
+                    lower=0.01,
+                    upper=1.0,
+                    unit="s",
+                    description="test duty-cycle interval",
+                )
+            ]
+        )
+
+    def energy_breakdown(self, params, ring):
+        interval = self.coerce(params)["interval"]
+        return EnergyBreakdown(
+            carrier_sense=1e-3 / interval, transmit=0.0, receive=0.0, overhear=0.0
+        )
+
+    def hop_latency(self, params, ring):
+        return 0.5 * self.coerce(params)["interval"]
+
+    def duty_cycle(self, params, ring):
+        return min(1.0, 1e-3 / self.coerce(params)["interval"])
+
+    def capacity_margin(self, params):
+        return 1.0
 
 
 @pytest.fixture
@@ -73,6 +119,20 @@ def scpmac(small_scenario: Scenario) -> SCPMACModel:
 def all_protocols(xmac, dmac, lmac, scpmac):
     """The four protocol models, keyed by canonical name."""
     return {"xmac": xmac, "dmac": dmac, "lmac": lmac, "scpmac": scpmac}
+
+
+@pytest.fixture
+def analytical_only_model_class():
+    """The behaviour-less model class (for factory-level error tests)."""
+    return AnalyticalOnlyMAC
+
+
+@pytest.fixture
+def analytical_only_protocol():
+    """Register the behaviour-less test protocol, yield its name, clean up."""
+    register_protocol("analyticalonly", AnalyticalOnlyMAC, overwrite=True)
+    yield "analyticalonly"
+    unregister_protocol("analyticalonly")
 
 
 def midpoint_params(model):

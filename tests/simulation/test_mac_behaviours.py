@@ -16,7 +16,9 @@ from repro.simulation.energy import EnergyAccount
 from repro.simulation.mac import (
     DMACSimBehaviour,
     LMACSimBehaviour,
+    SCPMACSimBehaviour,
     XMACSimBehaviour,
+    available_mac_protocols,
     behaviour_for_model,
     next_occurrence,
 )
@@ -67,10 +69,23 @@ class TestBehaviourFactory:
             behaviour_for_model(lmac, {"slot_length": 0.02, "slot_count": 9.0}, rng),
             LMACSimBehaviour,
         )
+        assert isinstance(
+            behaviour_for_model(SCPMACModel(scenario), {"poll_interval": 0.5}, rng),
+            SCPMACSimBehaviour,
+        )
 
-    def test_unsupported_model_rejected(self, scenario):
-        with pytest.raises(SimulationError):
-            behaviour_for_model(SCPMACModel(scenario), {"poll_interval": 0.5}, np.random.default_rng(0))
+    def test_all_builtin_protocols_have_simulators(self):
+        assert available_mac_protocols() == ["dmac", "lmac", "scpmac", "xmac"]
+
+    def test_unsupported_model_rejected_with_simulable_names(
+        self, scenario, analytical_only_model_class
+    ):
+        with pytest.raises(SimulationError, match="scpmac"):
+            behaviour_for_model(
+                analytical_only_model_class(scenario),
+                {"interval": 0.5},
+                np.random.default_rng(0),
+            )
 
 
 class TestXMACBehaviour:
@@ -137,6 +152,85 @@ class TestDMACBehaviour:
         behaviour.charge_periodic_energy(node, horizon=200.0)
         expected = int(200.0 / 2.0) * 2.0 * model.slot_time
         assert node.energy.total_active_time() == pytest.approx(expected)
+
+
+class TestSCPMACBehaviour:
+    def test_all_nodes_share_the_synchronized_phase(self, scenario):
+        model = SCPMACModel(scenario)
+        behaviour = SCPMACSimBehaviour(model, {"poll_interval": 0.5}, np.random.default_rng(3))
+        phases = {behaviour.assign_phase(make_node(i, 1, 0)) for i in range(1, 6)}
+        assert len(phases) == 1  # synchronized channel polling
+        assert 0.0 <= phases.pop() < 0.5
+
+    def test_hop_waits_for_the_next_common_poll(self, scenario):
+        model = SCPMACModel(scenario)
+        behaviour = SCPMACSimBehaviour(model, {"poll_interval": 0.5}, np.random.default_rng(3))
+        deployment = chain_deployment(depth=3)
+        channel = Channel(deployment)
+        phase = behaviour.assign_phase(make_node(2, 2, 1))
+        sender = make_node(2, 2, 1, phase=phase)
+        receiver = make_node(1, 1, 0, phase=phase)
+        outcome = behaviour.plan_hop(sender, receiver, now=0.0, channel=channel, overhearers=[])
+        epoch = next_occurrence(0.0, 0.5, phase)
+        # The tone starts at the epoch; data follows the tone and the second
+        # contention backoff.
+        assert outcome.transmission_start >= epoch + 2.0 * model.sync_error
+        assert outcome.completion < epoch + 0.1
+
+    def test_periodic_costs_cover_polls_and_sync_exchange(self, scenario):
+        model = SCPMACModel(scenario)
+        behaviour = SCPMACSimBehaviour(model, {"poll_interval": 0.5}, np.random.default_rng(3))
+        node = make_node(2, 2, 1)
+        behaviour.charge_periodic_energy(node, horizon=120.0)
+        breakdown = node.energy.breakdown()
+        radio = scenario.radio
+        per_poll = radio.wakeup_time + radio.carrier_sense_time
+        assert breakdown["poll"] == pytest.approx(
+            int(120.0 / 0.5) * per_poll * radio.power_rx
+        )
+        assert breakdown["sync-tx"] == pytest.approx(
+            int(120.0 / model.sync_period)
+            * scenario.packets.sync_airtime(radio)
+            * radio.power_tx
+        )
+        # Every neighbour's SYNC frame is received once per sync period.
+        assert breakdown["sync-rx"] == pytest.approx(
+            scenario.density * breakdown["sync-tx"] / radio.power_tx * radio.power_rx
+        )
+
+    def test_every_overhearer_samples_half_the_tone(self, scenario):
+        model = SCPMACModel(scenario)
+        behaviour = SCPMACSimBehaviour(model, {"poll_interval": 0.5}, np.random.default_rng(3))
+        deployment = chain_deployment(depth=3)
+        channel = Channel(deployment)
+        phase = behaviour.assign_phase(make_node(2, 2, 1))
+        sender = make_node(2, 2, 1, phase=phase)
+        receiver = make_node(1, 1, 0, phase=phase)
+        listeners = [make_node(3, 3, 2, phase=phase), make_node(4, 3, 2, phase=phase)]
+        behaviour.plan_hop(sender, receiver, 0.0, channel, listeners)
+        # Synchronized polling: the whole neighbourhood is awake at the
+        # epoch, so every overhearer pays exactly half the tone.
+        for listener in listeners:
+            assert listener.energy.breakdown()["overhear"] == pytest.approx(
+                0.5 * 2.0 * model.sync_error * scenario.radio.power_rx
+            )
+
+    def test_busy_epoch_retries_at_the_next_poll(self, scenario):
+        model = SCPMACModel(scenario)
+        behaviour = SCPMACSimBehaviour(model, {"poll_interval": 0.5}, np.random.default_rng(3))
+        deployment = chain_deployment(depth=3)
+        channel = Channel(deployment)
+        phase = behaviour.assign_phase(make_node(2, 2, 1))
+        epoch = next_occurrence(0.0, 0.5, phase)
+        # Another transmission occupies the sender's neighbourhood across
+        # the whole first epoch: the contention is lost and the hop moves
+        # to the next synchronized poll.
+        channel.reserve(sender=1, start=0.0, duration=epoch + 0.01)
+        sender = make_node(2, 2, 1, phase=phase)
+        receiver = make_node(1, 1, 0, phase=phase)
+        outcome = behaviour.plan_hop(sender, receiver, 0.0, channel, [])
+        assert outcome.transmission_start >= epoch + 0.5
+        assert channel.deferrals >= 1
 
 
 class TestLMACBehaviour:

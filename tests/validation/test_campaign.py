@@ -57,21 +57,21 @@ class TestReplicationSeeds:
 
 
 class TestCampaignSpec:
-    def test_defaults_cover_registry_without_scpmac(self):
+    def test_defaults_cover_all_four_simulable_protocols(self):
         spec = CampaignSpec()
         assert spec.scenarios  # every registered preset
-        assert "scpmac" not in spec.protocols  # analytical-only, not simulable
-        assert {"xmac", "dmac", "lmac"} <= set(spec.protocols)
+        assert {"xmac", "dmac", "lmac", "scpmac"} <= set(spec.protocols)
 
     def test_unknown_scenario_rejected(self):
         with pytest.raises(ConfigurationError):
             CampaignSpec(scenarios=("no-such-preset",))
 
-    def test_analytical_only_protocol_rejected_up_front(self):
-        # SCP-MAC has no simulated behaviour; discovering that after the
-        # solve stage would abort the campaign, so the spec refuses early.
+    def test_analytical_only_protocol_rejected_up_front(self, analytical_only_protocol):
+        # A behaviour-less protocol cannot be validated by simulation;
+        # discovering that after the solve stage would abort the campaign,
+        # so the spec refuses early.
         with pytest.raises(ConfigurationError, match="no simulated behaviour"):
-            CampaignSpec(protocols=("scpmac", "xmac"))
+            CampaignSpec(protocols=(analytical_only_protocol, "xmac"))
 
     @pytest.mark.parametrize(
         "kwargs",
