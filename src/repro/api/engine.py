@@ -524,14 +524,23 @@ _EXECUTORS: Dict[str, _Executor] = {
 }
 
 
-def runner_for(spec: ExperimentSpec) -> BatchRunner:
-    """Assemble the :class:`BatchRunner` a spec's runtime policy describes."""
+def runner_for(spec: ExperimentSpec, store: Optional[Any] = None) -> BatchRunner:
+    """Assemble the :class:`BatchRunner` a spec's runtime policy describes.
+
+    Args:
+        spec: The spec whose runtime policy (workers, mode, cache) applies.
+        store: Optional persistent result store
+            (:class:`repro.store.ResultStore`) to back the solve cache —
+            ignored when the policy disables caching (``--no-cache``
+            bypasses *both* layers).
+    """
     runtime = spec.runtime
     return build_runner(
         workers=runtime.workers,
         mode=runtime.mode,
         use_cache=runtime.cache,
         chunk_size=runtime.chunk_size,
+        store=store,
     )
 
 
@@ -558,6 +567,8 @@ def run(source: Runnable, runner: Optional[BatchRunner] = None) -> ResultSet:
     spec = plan_obj.spec
     if runner is None:
         runner = runner_for(spec)
+    store = getattr(runner.cache, "store", None)
+    store_before = store.stats() if store is not None else None
     records, raw = _EXECUTORS[spec.kind](spec, plan_obj, runner)
     stats = runner.cache_stats()
     metadata: Dict[str, object] = {
@@ -566,4 +577,13 @@ def run(source: Runnable, runner: Optional[BatchRunner] = None) -> ResultSet:
         "cache_hits": stats.hits,
         "cache_misses": stats.misses,
     }
+    if store is not None:
+        # Deltas over this run only (the store counts every lookup —
+        # solve reads through the cache *and* campaign replications), so
+        # "zero fresh results" is checkable per invocation: a fully warm
+        # run shows store_misses == store_puts == 0.
+        store_after = store.stats()
+        metadata["store_hits"] = store_after.hits - store_before.hits
+        metadata["store_misses"] = store_after.misses - store_before.misses
+        metadata["store_puts"] = store_after.puts - store_before.puts
     return ResultSet(spec=spec, records=records, metadata=metadata, raw=raw)

@@ -24,6 +24,21 @@ from repro.api.spec import ExperimentSpec
 RESULTSET_SCHEMA = "repro.api.resultset"
 RESULTSET_SCHEMA_VERSION = 1
 
+#: Metadata keys describing *how this process ran* (executor shape, cache
+#: temperature, store traffic) rather than what was computed.  They stay in
+#: the in-memory :attr:`ResultSet.metadata` for stdout reporting but are
+#: excluded from the written artifact, so a warm, resumed, or
+#: sharded-then-merged run of a spec writes bytes identical to a cold
+#: serial run.
+VOLATILE_METADATA = (
+    "runner",
+    "cache_hits",
+    "cache_misses",
+    "store_hits",
+    "store_misses",
+    "store_puts",
+)
+
 
 @dataclass(frozen=True)
 class ResultRecord:
@@ -116,21 +131,42 @@ class ResultSet:
             "spec_sha256": self.provenance,
             **{
                 key: self.metadata[key]
-                for key in ("runner", "cache_hits", "cache_misses")
+                for key in (
+                    "runner",
+                    "cache_hits",
+                    "cache_misses",
+                    "store_hits",
+                    "store_misses",
+                    "store_puts",
+                )
                 if key in self.metadata
             },
         }
 
     def as_dict(self) -> Dict[str, object]:
-        """Versioned, JSON-ready payload of the whole result."""
+        """Versioned, JSON-ready payload of the whole result.
+
+        Execution-shape counters (:data:`VOLATILE_METADATA`) are omitted:
+        the artifact records what was computed, and must come out
+        byte-identical whether the run was cold, warm from a store, or
+        sharded and merged.
+        """
         return {
             "schema": RESULTSET_SCHEMA,
             "schema_version": RESULTSET_SCHEMA_VERSION,
             "kind": self.kind,
             "spec": self.spec.to_dict(),
             "spec_sha256": self.provenance,
-            "summary": self.summary(),
-            "metadata": dict(self.metadata),
+            "summary": {
+                key: value
+                for key, value in self.summary().items()
+                if key not in VOLATILE_METADATA
+            },
+            "metadata": {
+                key: value
+                for key, value in self.metadata.items()
+                if key not in VOLATILE_METADATA
+            },
             "rows": self.rows(),
         }
 

@@ -11,7 +11,15 @@
 * ``scenarios`` — list the scenario presets of the library,
 * ``validate``  — compare the analytical model against the simulator,
 * ``validate-campaign`` — replicated Monte-Carlo validation over the suite,
-* ``protocols`` — list the available protocol models.
+* ``protocols`` — list the available protocol models,
+* ``store``     — maintain persistent result stores (merge/verify/gc/stats).
+
+Workload subcommands accept ``--store DIR`` to back the solve cache with a
+persistent, content-addressed result store: warm runs skip already-solved
+work (``run --require-warm`` turns "zero fresh results" into an exit-code
+assertion), interrupted campaigns resume incrementally, and ``--shard I/N``
+runs from separate machines merge byte-identically with ``store merge``.
+``--no-cache`` bypasses *both* layers — memory cache and store — explicitly.
 
 Every workload subcommand is a thin *spec builder*: it assembles an
 :class:`repro.api.ExperimentSpec` from its arguments and pushes it through
@@ -34,6 +42,7 @@ from repro.protocols.registry import available_protocols
 from repro.runtime import BatchRunner
 from repro.scenarios import available_scenarios, scenario_presets
 from repro.simulation.mac.factory import available_mac_protocols
+from repro.store import ResultStore, merge_stores
 from repro.validation import write_campaign
 
 
@@ -43,6 +52,32 @@ def _print_runtime_summary(runner: BatchRunner) -> None:
     if runner.cache is not None:
         line += f" — cache: {stats.hits} hits / {stats.misses} misses"
     print(line)
+
+
+def _open_store(args: argparse.Namespace) -> Optional[ResultStore]:
+    """The persistent store the run should use, honouring ``--no-cache``.
+
+    ``--no-cache`` disables *both* caching layers: combining it with
+    ``--store`` prints an explicit note and runs with neither, instead of
+    silently keeping one layer (or resetting its stats) behind the user's
+    back.
+    """
+    path = getattr(args, "store", None)
+    if not path:
+        return None
+    if getattr(args, "no_cache", False):
+        print("# --no-cache: solve cache and result store both bypassed")
+        return None
+    return ResultStore(path)
+
+
+def _print_store_summary(result: ResultSet) -> None:
+    metadata = result.metadata
+    if "store_hits" in metadata:
+        print(
+            f"# store: {metadata['store_hits']} hits / "
+            f"{metadata['store_misses']} misses / {metadata['store_puts']} puts"
+        )
 
 
 def _split_names(values: Optional[Sequence[str]]) -> tuple:
@@ -101,7 +136,17 @@ def _add_runtime_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--no-cache",
         action="store_true",
-        help="disable the solve cache (every solve is recomputed)",
+        help=(
+            "disable the solve cache (every solve is recomputed); "
+            "also bypasses --store"
+        ),
+    )
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="persistent content-addressed result store directory "
+        "(read-through/write-behind; created if missing)",
     )
 
 
@@ -144,7 +189,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.plan_only:
         print(format_table(plan.rows()))
         return 0
-    runner = runner_for(spec)
+    store = _open_store(args)
+    if args.require_warm and store is None:
+        raise ConfigurationError(
+            "--require-warm needs --store (and is incompatible with --no-cache)"
+        )
+    runner = runner_for(spec, store=store)
     result = run_experiment(plan, runner=runner)
     print(format_table(result.rows()))
     _write_optional_csv(result, args.csv)
@@ -157,7 +207,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"{record.unit.scenario}/{record.unit.protocol}" for record in failed
         )
         print(f"# units without a passing result: {labels}")
+    _print_store_summary(result)
     _print_runtime_summary(runner)
+    if args.require_warm:
+        fresh = int(result.metadata.get("store_misses", 0)) + int(
+            result.metadata.get("store_puts", 0)
+        )
+        if fresh:
+            print(
+                f"# --require-warm: store was not warm "
+                f"({result.metadata.get('store_misses', 0)} misses, "
+                f"{result.metadata.get('store_puts', 0)} puts)",
+                file=sys.stderr,
+            )
+            return 3
+        print("# --require-warm: satisfied (zero fresh results)")
     return 0
 
 
@@ -187,13 +251,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         .with_solver(grid_points=args.grid_points)
         .with_runtime(**_runtime_kwargs(args))
     )
-    runner = runner_for(spec)
+    runner = runner_for(spec, store=_open_store(args))
     result = run_experiment(spec, runner=runner)
     print(format_table(result.rows()))
     _write_optional_csv(result, args.csv)
     sweep = next(iter(result.raw.values()))
     if sweep.infeasible_values:
         print(f"# infeasible values: {sweep.infeasible_values}")
+    _print_store_summary(result)
     _print_runtime_summary(runner)
     return 0
 
@@ -204,10 +269,11 @@ def _cmd_figure(args: argparse.Namespace, which: int) -> int:
         .with_solver(grid_points=args.grid_points)
         .with_runtime(**_runtime_kwargs(args))
     )
-    runner = runner_for(spec)
+    runner = runner_for(spec, store=_open_store(args))
     result = run_experiment(spec, runner=runner)
     print(format_table(result.rows()))
     _write_optional_csv(result, args.csv)
+    _print_store_summary(result)
     _print_runtime_summary(runner)
     return 0
 
@@ -229,7 +295,7 @@ def _cmd_suite(args: argparse.Namespace) -> int:
         f"# scenario suite: {len(plan.scenario_names)} scenarios × "
         f"{len(plan.protocol_names)} protocols = {plan.count} games"
     )
-    runner = runner_for(spec)
+    runner = runner_for(spec, store=_open_store(args))
     result = run_experiment(plan, runner=runner)
     print(format_table(result.rows()))
     _write_optional_csv(result, args.csv)
@@ -237,6 +303,7 @@ def _cmd_suite(args: argparse.Namespace) -> int:
     if infeasible:
         pairs = ", ".join(f"{cell.scenario}/{cell.protocol}" for cell in infeasible)
         print(f"# infeasible pairs: {pairs}")
+    _print_store_summary(result)
     _print_runtime_summary(runner)
     return 0
 
@@ -274,7 +341,7 @@ def _cmd_validate_campaign(args: argparse.Namespace) -> int:
         f"{len(plan.protocol_names)} protocols × {replications} replications "
         f"= {plan.count * replications} simulations"
     )
-    runner = runner_for(spec)
+    runner = runner_for(spec, store=_open_store(args))
     result = run_experiment(plan, runner=runner)
     print(format_table(result.rows()))
     if args.out:
@@ -285,7 +352,48 @@ def _cmd_validate_campaign(args: argparse.Namespace) -> int:
     if failed:
         pairs = ", ".join(f"{cell.scenario}/{cell.protocol}" for cell in failed)
         print(f"# cells with failed checks: {pairs}")
+    _print_store_summary(result)
     _print_runtime_summary(runner)
+    return 0
+
+
+def _cmd_store_merge(args: argparse.Namespace) -> int:
+    report = merge_stores(args.sources, args.out)
+    print(
+        f"# merged {report.sources} store(s) into {args.out}: "
+        f"{report.written} written, {report.shared} already shared"
+    )
+    return 0
+
+
+def _cmd_store_verify(args: argparse.Namespace) -> int:
+    store = ResultStore(args.store_dir, create=False)
+    report = store.verify()
+    if report.ok:
+        print(f"# verified {report.checked} record(s): all clean")
+        return 0
+    for digest, reason in report.corrupt:
+        print(f"# corrupt {digest[:12]}…: {reason}")
+    print(f"# verified {report.checked} record(s): {len(report.corrupt)} corrupt")
+    return 1
+
+
+def _cmd_store_gc(args: argparse.Namespace) -> int:
+    store = ResultStore(args.store_dir, create=False)
+    report = store.gc(drop_corrupt=args.drop_corrupt)
+    print(
+        f"# gc {args.store_dir}: removed {report.tmp_removed} temp file(s), "
+        f"{report.corrupt_removed} corrupt record(s)"
+    )
+    return 0
+
+
+def _cmd_store_stats(args: argparse.Namespace) -> int:
+    store = ResultStore(args.store_dir, create=False)
+    counts = store.counts_by_kind()
+    total = store.record_count()
+    parts = ", ".join(f"{kind}: {count}" for kind, count in sorted(counts.items())) or "empty"
+    print(f"# store {args.store_dir}: {total} record(s) ({parts})")
     return 0
 
 
@@ -310,7 +418,20 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--no-cache",
         action="store_true",
-        help="override the spec to disable the solve cache",
+        help="override the spec to disable the solve cache (bypasses --store too)",
+    )
+    run_parser.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="persistent content-addressed result store directory "
+        "(read-through/write-behind; created if missing)",
+    )
+    run_parser.add_argument(
+        "--require-warm",
+        action="store_true",
+        help="exit 3 unless the run was answered entirely from --store "
+        "(zero fresh solves/simulations)",
     )
     run_parser.add_argument(
         "--plan-only",
@@ -476,6 +597,41 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_parser.add_argument("--csv", default=None, help="optional CSV output path")
     _add_runtime_arguments(campaign_parser)
     campaign_parser.set_defaults(handler=_cmd_validate_campaign)
+
+    store_parser = subparsers.add_parser(
+        "store", help="maintain persistent content-addressed result stores"
+    )
+    store_sub = store_parser.add_subparsers(dest="store_command", required=True)
+
+    merge_parser = store_sub.add_parser(
+        "merge", help="merge stores (e.g. from sharded runs) into one"
+    )
+    merge_parser.add_argument("sources", nargs="+", help="source store directories")
+    merge_parser.add_argument(
+        "--out", required=True, help="destination store directory (created if missing)"
+    )
+    merge_parser.set_defaults(handler=_cmd_store_merge)
+
+    verify_parser = store_sub.add_parser(
+        "verify", help="check the integrity hash of every record"
+    )
+    verify_parser.add_argument("store_dir", help="store directory to verify")
+    verify_parser.set_defaults(handler=_cmd_store_verify)
+
+    gc_parser = store_sub.add_parser(
+        "gc", help="remove stale temp files (and, on request, corrupt records)"
+    )
+    gc_parser.add_argument("store_dir", help="store directory to clean")
+    gc_parser.add_argument(
+        "--drop-corrupt",
+        action="store_true",
+        help="also delete records that fail their integrity check",
+    )
+    gc_parser.set_defaults(handler=_cmd_store_gc)
+
+    stats_parser = store_sub.add_parser("stats", help="print record counts by kind")
+    stats_parser.add_argument("store_dir", help="store directory to inspect")
+    stats_parser.set_defaults(handler=_cmd_store_stats)
 
     return parser
 

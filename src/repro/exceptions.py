@@ -47,5 +47,17 @@ class SimulationError(ReproError):
     """The discrete-event simulation reached an inconsistent state."""
 
 
+class StoreError(ReproError):
+    """The persistent result store is unusable or inconsistent.
+
+    Raised when a directory is not a result store (or carries an
+    incompatible schema version), when a merge encounters two records with
+    the same key but different payloads, or when a key contains a value the
+    canonical digest cannot encode.  Note that a *corrupted record* does not
+    raise on the read path: it is treated as a miss (plus a warning) so a
+    damaged store degrades to a cold one instead of crashing the run.
+    """
+
+
 class ValidationError(ReproError):
     """Analytical model and simulation disagree beyond the allowed tolerance."""

@@ -163,8 +163,12 @@ class BatchRunner:
         return self._cache.stats()
 
     def describe(self) -> str:
-        """Short label for reports, e.g. ``"process[4]+cache"``."""
-        suffix = "+cache" if self._cache is not None else ""
+        """Short label for reports, e.g. ``"process[4]+cache+store"``."""
+        suffix = ""
+        if self._cache is not None:
+            suffix = "+cache"
+            if getattr(self._cache, "store", None) is not None:
+                suffix += "+store"
         return f"{self._executor.describe()}{suffix}"
 
     # ------------------------------------------------------------------ #
@@ -283,6 +287,7 @@ def build_runner(
     cache: Optional[SolveCache] = None,
     chunk_size: Optional[int] = None,
     progress: Optional[ProgressCallback] = None,
+    store: Optional[Any] = None,
 ) -> BatchRunner:
     """Assemble a :class:`BatchRunner` from simple knobs.
 
@@ -297,11 +302,18 @@ def build_runner(
         mode: Executor mode (``"auto"``, ``"serial"``, ``"thread"``,
             ``"process"``).
         use_cache: Whether solves are memoized; ``False`` forces every solve
-            to be recomputed.
+            to be recomputed — and deliberately bypasses ``store`` too, so
+            "no cache" means *no cache of any kind*, never a silent
+            store-only half-measure.
         cache: Explicit cache instance (defaults to the process-wide cache
             when ``use_cache`` is true).
         chunk_size: Tasks per dispatched chunk (``None`` auto-sizes).
         progress: Optional ``progress(done, total)`` callback.
+        store: Optional persistent result store
+            (:class:`repro.store.ResultStore`).  When given (and caching is
+            on, with no explicit ``cache``), the runner gets a *fresh*
+            cache instance backed by the store instead of the process-wide
+            one, so the run's hit/miss counters are its own.
 
     Returns:
         The assembled :class:`BatchRunner`.
@@ -309,6 +321,8 @@ def build_runner(
     Raises:
         ConfigurationError: if the executor mode or worker count is invalid.
     """
+    if cache is None and use_cache and store is not None:
+        cache = SolveCache(store=store)
     if cache is None and use_cache:
         cache = default_cache()
     if not use_cache:

@@ -175,12 +175,22 @@ class SolveCache:
         max_entries: Optional LRU bound; ``None`` means unbounded.  Sweeps
             are small (tens of solves) but long-lived services may want a
             cap.
+        store: Optional persistent backend (duck-typed against
+            :class:`repro.store.ResultStore`: ``get_solution(key)`` /
+            ``put_solution(key, solution)``).  Reads fall through to the
+            store on a memory miss (read-through) and fresh solutions are
+            persisted as they are stored (write-behind), so the memory
+            layer stays the fast path while the store survives the
+            process.
     """
 
-    def __init__(self, max_entries: Optional[int] = None) -> None:
+    def __init__(
+        self, max_entries: Optional[int] = None, store: Optional[Any] = None
+    ) -> None:
         if max_entries is not None and max_entries < 1:
             raise ValueError(f"max_entries must be >= 1 or None, got {max_entries}")
         self._max_entries = max_entries
+        self._store = store
         self._entries: "OrderedDict[CacheKey, GameSolution]" = OrderedDict()
         self._lock = threading.Lock()
         self._hits = 0
@@ -197,26 +207,56 @@ class SolveCache:
     # Lookup / store
     # ------------------------------------------------------------------ #
 
+    @property
+    def store(self) -> Optional[Any]:
+        """The persistent backend, or ``None`` for a purely in-memory cache."""
+        return self._store
+
+    def _insert(self, key: CacheKey, solution: GameSolution) -> None:
+        """Insert under the lock, evicting LRU entries if bounded."""
+        self._entries[key] = solution
+        self._entries.move_to_end(key)
+        if self._max_entries is not None:
+            while len(self._entries) > self._max_entries:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
     def get(self, key: CacheKey) -> Optional[GameSolution]:
-        """Return the memoized solution for ``key``, counting hit or miss."""
+        """Return the memoized solution for ``key``, counting hit or miss.
+
+        A memory miss falls through to the persistent store (when one is
+        attached); a store hit is counted as a cache hit and promoted into
+        the memory layer, without being written back to the store.
+        """
         with self._lock:
             solution = self._entries.get(key)
-            if solution is None:
-                self._misses += 1
-                return None
-            self._entries.move_to_end(key)
-            self._hits += 1
-            return solution
+            if solution is not None:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                return solution
+        if self._store is not None:
+            # Disk I/O happens outside the lock; the store is thread-safe.
+            solution = self._store.get_solution(key)
+            if solution is not None:
+                with self._lock:
+                    self._insert(key, solution)
+                    self._hits += 1
+                return solution
+        with self._lock:
+            self._misses += 1
+        return None
 
     def put(self, key: CacheKey, solution: GameSolution) -> None:
-        """Store a solution under ``key``, evicting LRU entries if bounded."""
+        """Store a solution under ``key``, evicting LRU entries if bounded.
+
+        With a persistent backend attached, the solution is also written
+        behind to the store (idempotently — an existing record is left
+        untouched).
+        """
         with self._lock:
-            self._entries[key] = solution
-            self._entries.move_to_end(key)
-            if self._max_entries is not None:
-                while len(self._entries) > self._max_entries:
-                    self._entries.popitem(last=False)
-                    self._evictions += 1
+            self._insert(key, solution)
+        if self._store is not None:
+            self._store.put_solution(key, solution)
 
     def __len__(self) -> int:
         with self._lock:

@@ -1,0 +1,140 @@
+"""Lossless JSON codec for :class:`~repro.core.results.GameSolution`.
+
+The store holds JSON payloads, so solutions must round-trip *exactly*:
+a solution decoded from disk has to be indistinguishable from the freshly
+solved one, otherwise warm runs would not be byte-identical to cold runs.
+Python's JSON writer emits the shortest ``repr`` that round-trips for every
+finite float (and ``Infinity``/``NaN`` tokens otherwise), so encoding every
+numeric field through :func:`float` is sufficient — no hex-float escaping
+is needed in the payload itself.
+
+``as_dict`` on the result dataclasses is *not* reused here: those views are
+flattened for tables and drop solver metadata.  This codec is a faithful
+field-for-field mapping with its own layout, validated on decode.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping
+
+from repro.core.results import (
+    BargainingOutcome,
+    GameSolution,
+    OptimizationOutcome,
+    TradeoffPoint,
+)
+from repro.exceptions import StoreError
+
+__all__ = ["solution_to_payload", "solution_from_payload"]
+
+
+def _encode_point(point: TradeoffPoint) -> Dict[str, object]:
+    return {
+        "parameters": {str(k): float(v) for k, v in point.parameters.items()},
+        "energy": float(point.energy),
+        "delay": float(point.delay),
+    }
+
+
+def _decode_point(payload: Mapping[str, Any]) -> TradeoffPoint:
+    return TradeoffPoint(
+        parameters={str(k): float(v) for k, v in payload["parameters"].items()},
+        energy=float(payload["energy"]),
+        delay=float(payload["delay"]),
+    )
+
+
+def _encode_optimum(outcome: OptimizationOutcome) -> Dict[str, object]:
+    return {
+        "problem": outcome.problem,
+        "point": _encode_point(outcome.point),
+        "feasible": bool(outcome.feasible),
+        "solver": outcome.solver,
+        "evaluations": int(outcome.evaluations),
+        "binding_constraint": outcome.binding_constraint,
+    }
+
+
+def _decode_optimum(payload: Mapping[str, Any]) -> OptimizationOutcome:
+    return OptimizationOutcome(
+        problem=str(payload["problem"]),
+        point=_decode_point(payload["point"]),
+        feasible=bool(payload["feasible"]),
+        solver=str(payload["solver"]),
+        evaluations=int(payload["evaluations"]),
+        binding_constraint=str(payload["binding_constraint"]),
+    )
+
+
+def _encode_bargaining(outcome: BargainingOutcome) -> Dict[str, object]:
+    return {
+        "point": _encode_point(outcome.point),
+        "nash_product": float(outcome.nash_product),
+        "disagreement_energy": float(outcome.disagreement_energy),
+        "disagreement_delay": float(outcome.disagreement_delay),
+        "energy_gain": float(outcome.energy_gain),
+        "delay_gain": float(outcome.delay_gain),
+        "fairness_residual": float(outcome.fairness_residual),
+        "solver": outcome.solver,
+        "evaluations": int(outcome.evaluations),
+    }
+
+
+def _decode_bargaining(payload: Mapping[str, Any]) -> BargainingOutcome:
+    return BargainingOutcome(
+        point=_decode_point(payload["point"]),
+        nash_product=float(payload["nash_product"]),
+        disagreement_energy=float(payload["disagreement_energy"]),
+        disagreement_delay=float(payload["disagreement_delay"]),
+        energy_gain=float(payload["energy_gain"]),
+        delay_gain=float(payload["delay_gain"]),
+        fairness_residual=float(payload["fairness_residual"]),
+        solver=str(payload["solver"]),
+        evaluations=int(payload["evaluations"]),
+    )
+
+
+def solution_to_payload(solution: GameSolution) -> Dict[str, object]:
+    """Encode a game solution into a JSON-ready payload.
+
+    Args:
+        solution: The solution to persist.
+
+    Returns:
+        A plain dictionary of primitives; feeding it back through
+        :func:`solution_from_payload` reconstructs an equal solution.
+    """
+    return {
+        "protocol": solution.protocol,
+        "energy_budget": float(solution.energy_budget),
+        "max_delay": float(solution.max_delay),
+        "energy_optimum": _encode_optimum(solution.energy_optimum),
+        "delay_optimum": _encode_optimum(solution.delay_optimum),
+        "bargaining": _encode_bargaining(solution.bargaining),
+    }
+
+
+def solution_from_payload(payload: Mapping[str, Any]) -> GameSolution:
+    """Decode a stored payload back into a :class:`GameSolution`.
+
+    Args:
+        payload: A payload produced by :func:`solution_to_payload`.
+
+    Returns:
+        The reconstructed solution, field-for-field equal to the original.
+
+    Raises:
+        StoreError: if the payload is missing fields or has the wrong shape
+            (a store record of another kind, or a truncated/foreign payload).
+    """
+    try:
+        return GameSolution(
+            protocol=str(payload["protocol"]),
+            energy_budget=float(payload["energy_budget"]),
+            max_delay=float(payload["max_delay"]),
+            energy_optimum=_decode_optimum(payload["energy_optimum"]),
+            delay_optimum=_decode_optimum(payload["delay_optimum"]),
+            bargaining=_decode_bargaining(payload["bargaining"]),
+        )
+    except (KeyError, TypeError, ValueError, AttributeError) as error:
+        raise StoreError(f"malformed solve payload: {error!r}") from error

@@ -1,0 +1,94 @@
+"""Merging result stores grown on different machines.
+
+``--shard I/N`` runs leave each shard's results in its own store; merging
+folds them into one store that is *file-identical* to the store a single
+unsharded run would have produced (records are canonical bytes keyed by
+content digests, so identical results are identical files).  Overlapping
+keys are legal only when the records agree byte-for-byte — a disagreement
+means two machines computed different results for the same identity, which
+is a reproducibility bug that must surface, never be papered over.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+from typing import Sequence, Union
+
+from repro.exceptions import StoreError
+from repro.store.records import decode_record
+from repro.store.store import ResultStore
+
+__all__ = ["MergeReport", "merge_stores"]
+
+
+@dataclasses.dataclass(frozen=True)
+class MergeReport:
+    """Outcome of :func:`merge_stores`.
+
+    Attributes:
+        sources: Number of source stores merged.
+        written: Records copied into the destination.
+        shared: Records that already existed (byte-identically) in the
+            destination.
+    """
+
+    sources: int
+    written: int
+    shared: int
+
+
+def merge_stores(
+    sources: Sequence[Union[str, Path, ResultStore]],
+    out: Union[str, Path, ResultStore],
+) -> MergeReport:
+    """Merge every source store into ``out``.
+
+    Args:
+        sources: Store directories (or open stores) to merge, in order.
+        out: Destination store; created if missing, and may already hold
+            records (merging into a non-empty store is how incremental
+            shard collection works).
+
+    Returns:
+        A :class:`MergeReport` with copy/overlap counts.
+
+    Raises:
+        StoreError: if a source is not a store, holds a corrupt record
+            (run ``store gc --drop-corrupt`` first), or conflicts with the
+            destination — same key digest, different record bytes.
+    """
+    destination = out if isinstance(out, ResultStore) else ResultStore(out)
+    written = 0
+    shared = 0
+    opened = [
+        source if isinstance(source, ResultStore) else ResultStore(source, create=False)
+        for source in sources
+    ]
+    for store in opened:
+        for digest in store.digests():
+            text = store.record_text(digest)
+            if text is None:
+                continue
+            try:
+                kind, payload = decode_record(text, expected_digest=digest)
+            except StoreError as error:
+                raise StoreError(
+                    f"source store {store.root} holds corrupt record "
+                    f"{digest[:12]}… ({error}); run `store gc --drop-corrupt` "
+                    "on it before merging"
+                ) from error
+            existing = destination.record_text(digest)
+            if existing is not None:
+                if existing != text:
+                    raise StoreError(
+                        f"merge conflict on key {digest[:12]}…: "
+                        f"{store.root} and {destination.root} hold different "
+                        "payloads for the same identity (results are expected "
+                        "to be deterministic — refusing to merge)"
+                    )
+                shared += 1
+                continue
+            destination.put(digest, payload, kind)
+            written += 1
+    return MergeReport(sources=len(opened), written=written, shared=shared)

@@ -1,0 +1,130 @@
+"""On-disk record format of the result store (``repro.store.record`` v1).
+
+One record is one JSON file whose bytes are a pure function of
+``(key digest, kind, payload)``: sorted keys, two-space indentation, a
+trailing newline, and an embedded integrity hash over the payload's compact
+canonical form.  That byte-determinism is what makes two stores grown on
+different machines *file-identical* whenever they hold the same results —
+the property the shard-merge identity CI job diffs for.
+
+Decoding is strict: a record that fails *any* check (JSON parse, schema
+tag, version, kind, key/digest match, payload integrity) raises
+:class:`~repro.exceptions.StoreError` here; the store's read path catches
+that and degrades the record to a miss plus a warning.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict, Mapping, Tuple
+
+from repro.exceptions import StoreError
+
+__all__ = [
+    "RECORD_KINDS",
+    "RECORD_SCHEMA",
+    "RECORD_SCHEMA_VERSION",
+    "decode_record",
+    "encode_record",
+    "payload_sha256",
+]
+
+#: Schema tag every record carries.
+RECORD_SCHEMA = "repro.store.record"
+
+#: Record schema version this code writes and accepts.
+RECORD_SCHEMA_VERSION = 1
+
+#: Record families the store holds.
+RECORD_KINDS = ("solve", "replication")
+
+
+def payload_sha256(payload: Mapping[str, Any]) -> str:
+    """Integrity hash of a record payload.
+
+    The payload is serialized in compact canonical form (sorted keys, no
+    whitespace) before hashing, so the digest is independent of how the
+    surrounding record file is formatted.
+    """
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def encode_record(digest: str, kind: str, payload: Mapping[str, Any]) -> str:
+    """Serialize one record into its canonical file text.
+
+    Args:
+        digest: The record's key digest (its address in the store).
+        kind: One of :data:`RECORD_KINDS`.
+        payload: JSON-ready result payload.
+
+    Returns:
+        The record file content, ending in a newline.
+
+    Raises:
+        StoreError: on an unknown ``kind`` or a payload JSON cannot encode.
+    """
+    if kind not in RECORD_KINDS:
+        raise StoreError(f"unknown record kind {kind!r}; expected one of {RECORD_KINDS}")
+    try:
+        record = {
+            "schema": RECORD_SCHEMA,
+            "schema_version": RECORD_SCHEMA_VERSION,
+            "kind": kind,
+            "key_sha256": digest,
+            "payload": dict(payload),
+            "payload_sha256": payload_sha256(payload),
+        }
+        return json.dumps(record, indent=2, sort_keys=True) + "\n"
+    except (TypeError, ValueError) as error:
+        raise StoreError(f"record payload is not JSON-serializable: {error}") from error
+
+
+def decode_record(text: str, expected_digest: str) -> Tuple[str, Dict[str, Any]]:
+    """Parse and integrity-check one record file.
+
+    Args:
+        text: The record file content.
+        expected_digest: The digest the record is filed under (from its
+            path); the embedded ``key_sha256`` must match.
+
+    Returns:
+        ``(kind, payload)`` of the verified record.
+
+    Raises:
+        StoreError: if the text is not valid JSON, carries the wrong
+            schema/version/kind, is filed under a different key, or its
+            payload does not match the embedded integrity hash.
+    """
+    try:
+        record = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise StoreError(f"record is not valid JSON: {error}") from error
+    if not isinstance(record, dict) or record.get("schema") != RECORD_SCHEMA:
+        raise StoreError(f"not a store record (missing schema tag {RECORD_SCHEMA!r})")
+    version = record.get("schema_version")
+    if version != RECORD_SCHEMA_VERSION:
+        raise StoreError(
+            f"record schema version {version!r}; this code reads "
+            f"version {RECORD_SCHEMA_VERSION}"
+        )
+    kind = record.get("kind")
+    if kind not in RECORD_KINDS:
+        raise StoreError(f"unknown record kind {kind!r}")
+    if record.get("key_sha256") != expected_digest:
+        raise StoreError(
+            f"record is filed under {expected_digest[:12]}… but claims key "
+            f"{str(record.get('key_sha256'))[:12]}…"
+        )
+    payload = record.get("payload")
+    if not isinstance(payload, dict):
+        raise StoreError("record payload is missing or not an object")
+    actual = payload_sha256(payload)
+    if actual != record.get("payload_sha256"):
+        raise StoreError(
+            "payload integrity hash mismatch (record is corrupted): "
+            f"expected {str(record.get('payload_sha256'))[:12]}…, "
+            f"recomputed {actual[:12]}…"
+        )
+    return str(kind), payload

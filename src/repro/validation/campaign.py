@@ -30,7 +30,7 @@ import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.exceptions import ConfigurationError, ValidationError
+from repro.exceptions import ConfigurationError, StoreError, ValidationError
 from repro.protocols.registry import canonical_name, protocol_class
 from repro.runtime import BatchRunner, default_runner
 from repro.scenarios.presets import available_scenarios, scenario_preset
@@ -190,6 +190,46 @@ class ReplicationMeasurement:
     generated: int
     delivered: int
     dropped: int
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready payload for the persistent result store.
+
+        Every field round-trips exactly through JSON (floats keep their
+        shortest round-tripping ``repr``), so a measurement read back from
+        the store is indistinguishable from a freshly simulated one — the
+        property resume/shard-merge byte-identity rests on.
+        """
+        return {
+            "seed": self.seed,
+            "energy": self.energy,
+            "delay": self.delay,
+            "delivery_ratio": self.delivery_ratio,
+            "generated": self.generated,
+            "delivered": self.delivered,
+            "dropped": self.dropped,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "ReplicationMeasurement":
+        """Rebuild a measurement from its stored payload.
+
+        Raises:
+            StoreError: if the payload is missing fields or has the wrong
+                shape (e.g. a record of another kind filed under this key).
+        """
+        try:
+            delay = payload["delay"]
+            return cls(
+                seed=int(payload["seed"]),  # type: ignore[arg-type]
+                energy=float(payload["energy"]),  # type: ignore[arg-type]
+                delay=None if delay is None else float(delay),  # type: ignore[arg-type]
+                delivery_ratio=float(payload["delivery_ratio"]),  # type: ignore[arg-type]
+                generated=int(payload["generated"]),  # type: ignore[arg-type]
+                delivered=int(payload["delivered"]),  # type: ignore[arg-type]
+                dropped=int(payload["dropped"]),  # type: ignore[arg-type]
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise StoreError(f"malformed replication payload: {error!r}") from error
 
 
 @dataclass(frozen=True)
@@ -462,6 +502,60 @@ def _simulate_payload(payload: _SimPayload) -> ReplicationMeasurement:
     )
 
 
+def _run_replications(
+    payloads: Sequence[_SimPayload],
+    runner: BatchRunner,
+    store: Optional[object],
+) -> List[ReplicationMeasurement]:
+    """Run the replication grid, answering what the store already holds.
+
+    Without a store this is a plain ordered fan-out.  With one, every
+    payload is first looked up by its content key; only misses are
+    dispatched to the executor, fresh measurements are written behind, and
+    the combined list is reassembled in submission order — so the result
+    is element-for-element identical to an uncached run.
+    """
+    if store is None:
+        return runner.executor.map_ordered(_simulate_payload, payloads)
+
+    from repro.store.keys import key_digest, replication_record_key
+
+    measurements: List[Optional[ReplicationMeasurement]] = [None] * len(payloads)
+    digests: List[str] = []
+    fresh: List[_SimPayload] = []
+    fresh_positions: List[int] = []
+    for position, payload in enumerate(payloads):
+        model, params, config = payload
+        digest = key_digest(
+            replication_record_key(model, params, config.horizon, config.seed)
+        )
+        digests.append(digest)
+        stored = store.get(digest)  # type: ignore[attr-defined]
+        if stored is not None:
+            try:
+                measurements[position] = ReplicationMeasurement.from_dict(stored)
+                continue
+            except StoreError:
+                # Undecodable payload under a valid record: treat as a
+                # miss, like the store's own corruption policy.
+                pass
+        fresh.append(payload)
+        fresh_positions.append(position)
+    def _persist(index: int, measurement: ReplicationMeasurement) -> None:
+        # Write behind as each replication completes (not after the whole
+        # fan-out): a campaign killed mid-stage keeps everything that
+        # finished, which is what makes an interrupted run resumable.
+        store.put(  # type: ignore[attr-defined]
+            digests[fresh_positions[index]], measurement.as_dict(), kind="replication"
+        )
+
+    for position, measurement in zip(
+        fresh_positions, runner.executor.map_ordered(_simulate_payload, fresh, _persist)
+    ):
+        measurements[position] = measurement
+    return [measurement for measurement in measurements if measurement is not None]
+
+
 def aggregate_measurements(
     spec: CampaignSpec,
     analytical_energy: float,
@@ -577,6 +671,7 @@ def _delivery_check(aggregate: MetricAggregate, floor: float) -> MetricCheck:
 def run_campaign(
     spec: Optional[CampaignSpec] = None,
     runner: Optional[BatchRunner] = None,
+    store: Optional[object] = None,
 ) -> CampaignResult:
     """Execute a Monte-Carlo validation campaign.
 
@@ -586,6 +681,14 @@ def run_campaign(
     cells × replications simulation grid fans out over the *same* executor
     policy, so ``--workers`` accelerates both stages.
 
+    Both stages are store-addressable: with a persistent result store
+    attached, the solve stage reads through the runner's cache into the
+    store, and every replication is looked up by its content key
+    (:func:`repro.store.keys.replication_record_key`) before being
+    simulated — only missing replications are dispatched, and fresh ones
+    are written behind.  That is what makes an interrupted campaign
+    resumable and a sharded one mergeable, byte-identically.
+
     Args:
         spec: The campaign specification (default: every scenario preset ×
             every simulable protocol, 5 replications).
@@ -593,6 +696,10 @@ def run_campaign(
             replications; defaults to the serial cached runner.  Pass
             ``build_runner(workers=4)`` for a process pool — the resulting
             artifact stays byte-identical.
+        store: Persistent result store for the replication stage; defaults
+            to the store backing the runner's cache, if any (so a runner
+            built with ``build_runner(store=...)`` campaigns end-to-end
+            through it with no extra wiring).
 
     Returns:
         The :class:`CampaignResult`, one cell per (scenario, protocol) pair
@@ -606,6 +713,8 @@ def run_campaign(
 
     spec = spec if spec is not None else CampaignSpec()
     runner = runner if runner is not None else default_runner()
+    if store is None:
+        store = getattr(runner.cache, "store", None)
 
     # Stage 1: solve every cell's bargaining game through the shared grid
     # primitive (cached, deduplicated, construction failures as data).
@@ -673,7 +782,7 @@ def run_campaign(
             payloads.append(
                 (model, params, SimulationConfig(horizon=spec.horizon, seed=seed))
             )
-    flat_measurements = runner.executor.map_ordered(_simulate_payload, payloads)
+    flat_measurements = _run_replications(payloads, runner, store)
 
     # Stage 3: aggregate per cell, in replication order.
     aggregated: List[CampaignCell] = []

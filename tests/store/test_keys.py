@@ -1,0 +1,94 @@
+"""Content-addressing: digest determinism, distinctness, type safety."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import StoreError
+from repro.protocols.xmac import XMACModel
+from repro.runtime.cache import freeze, model_fingerprint, solve_key
+from repro.store import key_digest, replication_record_key
+
+HEX_CHARS = set("0123456789abcdef")
+
+
+class TestKeyDigest:
+    def test_is_64_hex_chars(self):
+        digest = key_digest(("solve", "abc", 1.5))
+        assert len(digest) == 64
+        assert set(digest) <= HEX_CHARS
+
+    def test_deterministic(self):
+        key = ("solve", "fp", freeze({"max_delay": 2.0}), freeze({"grid": 15}))
+        assert key_digest(key) == key_digest(key)
+
+    def test_nested_tuples_participate(self):
+        assert key_digest((("a", "b"), "c")) != key_digest((("a",), "b", "c"))
+        assert key_digest(("a", ("b", "c"))) != key_digest((("a", "b"), "c"))
+
+    def test_type_tags_keep_lookalikes_apart(self):
+        # The canonical encoding is type-tagged and length-prefixed, so
+        # values with identical string renderings cannot collide.
+        lookalikes = [(1,), (1.0,), ("1",), (b"1",), (True,), ((1,),)]
+        digests = {key_digest(key) for key in lookalikes}
+        assert len(digests) == len(lookalikes)
+
+    def test_none_and_booleans(self):
+        assert key_digest((None,)) != key_digest((False,))
+        assert key_digest((True,)) != key_digest((False,))
+
+    def test_float_precision_is_exact(self):
+        assert key_digest((0.1,)) != key_digest((0.1 + 1e-16,)) or (0.1 == 0.1 + 1e-16)
+        assert key_digest((0.5,)) != key_digest((0.5000000001,))
+
+    def test_rejects_unfrozen_components(self):
+        with pytest.raises(StoreError):
+            key_digest(("solve", {"not": "frozen"}))
+        with pytest.raises(StoreError):
+            key_digest(("solve", [1, 2]))
+
+    def test_solve_key_digests(self, xmac, requirements):
+        # The in-memory cache key is directly digestible — the property the
+        # read-through/write-behind store backend depends on.
+        key = solve_key(xmac, requirements, {"grid_points_per_dimension": 15})
+        assert key_digest(key) == key_digest(
+            solve_key(xmac, requirements, {"grid_points_per_dimension": 15})
+        )
+
+
+class TestReplicationRecordKey:
+    def test_shape_and_tag(self, xmac):
+        key = replication_record_key(xmac, {"wakeup_interval": 0.3}, 300.0, 7)
+        assert key[0] == "replication"
+        assert key[1] == model_fingerprint(xmac)
+        assert key[3] == 300.0
+        assert key[4] == 7
+
+    def test_distinct_per_component(self, xmac, paper_scenario):
+        base = replication_record_key(xmac, {"wakeup_interval": 0.3}, 300.0, 7)
+        variants = [
+            replication_record_key(xmac, {"wakeup_interval": 0.31}, 300.0, 7),
+            replication_record_key(xmac, {"wakeup_interval": 0.3}, 600.0, 7),
+            replication_record_key(xmac, {"wakeup_interval": 0.3}, 300.0, 8),
+            replication_record_key(
+                XMACModel(paper_scenario), {"wakeup_interval": 0.3}, 300.0, 7
+            ),
+        ]
+        digests = {key_digest(variant) for variant in variants}
+        assert len(digests) == len(variants)
+        assert key_digest(base) not in digests
+
+    def test_disjoint_from_solve_family(self, xmac, requirements):
+        solve = key_digest(solve_key(xmac, requirements, {}))
+        replication = key_digest(
+            replication_record_key(xmac, {"wakeup_interval": 0.3}, 300.0, 1)
+        )
+        assert solve != replication
+
+    def test_int_like_seed_normalized(self, xmac):
+        import numpy as np
+
+        params = {"wakeup_interval": 0.3}
+        assert key_digest(
+            replication_record_key(xmac, params, 300.0, np.int64(7))
+        ) == key_digest(replication_record_key(xmac, params, 300.0, 7))

@@ -1,0 +1,95 @@
+"""merge_stores: disjoint/overlapping/conflicting shards, byte identity."""
+
+from __future__ import annotations
+
+import filecmp
+import json
+
+import pytest
+
+from repro.exceptions import StoreError
+from repro.store import ResultStore, key_digest, merge_stores
+
+PAYLOAD = {"seed": 3, "energy": 0.5, "delay": 1.25, "delivery_ratio": 1.0,
+           "generated": 2, "delivered": 2, "dropped": 0}
+
+
+def filled(root, *names):
+    store = ResultStore(root)
+    for name in names:
+        store.put(key_digest(("replication", name)), dict(PAYLOAD), kind="replication")
+    return store
+
+
+def tree_identical(left, right):
+    """Byte-for-byte equality of two store trees (no shallow stat compare)."""
+    left_files = {path.relative_to(left): path for path in sorted(left.rglob("*")) if path.is_file()}
+    right_files = {path.relative_to(right): path for path in sorted(right.rglob("*")) if path.is_file()}
+    if left_files.keys() != right_files.keys():
+        return False
+    return all(
+        filecmp.cmp(str(left_files[name]), str(right_files[name]), shallow=False)
+        for name in left_files
+    )
+
+
+class TestMerge:
+    def test_disjoint_shards(self, tmp_path):
+        filled(tmp_path / "a", "one", "two")
+        filled(tmp_path / "b", "three")
+        report = merge_stores([tmp_path / "a", tmp_path / "b"], tmp_path / "out")
+        assert (report.sources, report.written, report.shared) == (2, 3, 0)
+        assert ResultStore(tmp_path / "out").record_count() == 3
+
+    def test_identical_overlap_is_shared(self, tmp_path):
+        filled(tmp_path / "a", "one", "both")
+        filled(tmp_path / "b", "two", "both")
+        report = merge_stores([tmp_path / "a", tmp_path / "b"], tmp_path / "out")
+        assert (report.written, report.shared) == (3, 1)
+
+    def test_merged_tree_matches_single_run(self, tmp_path):
+        # A sharded-then-merged store must be file-identical to the store a
+        # single run over all keys would have written.
+        filled(tmp_path / "all", "one", "two", "three")
+        filled(tmp_path / "a", "one", "two")
+        filled(tmp_path / "b", "three")
+        merge_stores([tmp_path / "a", tmp_path / "b"], tmp_path / "out")
+        assert tree_identical(tmp_path / "all", tmp_path / "out")
+
+    def test_merge_into_existing_destination(self, tmp_path):
+        filled(tmp_path / "out", "one")
+        filled(tmp_path / "b", "two")
+        report = merge_stores([tmp_path / "b"], tmp_path / "out")
+        assert report.written == 1
+        assert ResultStore(tmp_path / "out").record_count() == 2
+
+    def test_conflicting_payloads_hard_error(self, tmp_path):
+        filled(tmp_path / "a", "contested")
+        other = ResultStore(tmp_path / "b")
+        other.put(
+            key_digest(("replication", "contested")),
+            dict(PAYLOAD, energy=9.0),
+            kind="replication",
+        )
+        with pytest.raises(StoreError, match="merge conflict"):
+            merge_stores([tmp_path / "a", tmp_path / "b"], tmp_path / "out")
+
+    def test_corrupt_source_hard_error(self, tmp_path):
+        store = filled(tmp_path / "a", "victim")
+        digest = key_digest(("replication", "victim"))
+        store._record_path(digest).write_text("{ not json")
+        with pytest.raises(StoreError, match="drop-corrupt"):
+            merge_stores([tmp_path / "a"], tmp_path / "out")
+
+    def test_missing_source_hard_error(self, tmp_path):
+        with pytest.raises(StoreError, match="no result store"):
+            merge_stores([tmp_path / "nowhere"], tmp_path / "out")
+
+    def test_merge_is_associative_on_bytes(self, tmp_path):
+        filled(tmp_path / "a", "one")
+        filled(tmp_path / "b", "two")
+        filled(tmp_path / "c", "three")
+        merge_stores([tmp_path / "a", tmp_path / "b", tmp_path / "c"], tmp_path / "abc")
+        merge_stores([tmp_path / "b", tmp_path / "c"], tmp_path / "bc")
+        merge_stores([tmp_path / "a", tmp_path / "bc"], tmp_path / "a_bc")
+        assert tree_identical(tmp_path / "abc", tmp_path / "a_bc")

@@ -1,0 +1,123 @@
+"""The benchmark regression gate (``tools/check_bench.py``)."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _load_gate():
+    spec = importlib.util.spec_from_file_location(
+        "check_bench", REPO_ROOT / "tools" / "check_bench.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+check_bench = _load_gate()
+
+
+def artifact(tmp_path, name, throughputs):
+    payload = {
+        "schema": "repro.bench.simulator",
+        "schema_version": 1,
+        "protocols": {
+            protocol: {"events": 1000, "seconds": 1.0, "events_per_second": value,
+                       "delivered": 10}
+            for protocol, value in throughputs.items()
+        },
+    }
+    path = tmp_path / name
+    path.write_text(json.dumps(payload))
+    return path
+
+
+def run_gate(baseline, fresh, *extra):
+    return check_bench.main(
+        ["--baseline", str(baseline), "--fresh", str(fresh), *extra]
+    )
+
+
+class TestGate:
+    def test_identical_passes(self, tmp_path, capsys):
+        base = artifact(tmp_path, "base.json", {"xmac": 30000.0, "lmac": 50000.0})
+        fresh = artifact(tmp_path, "fresh.json", {"xmac": 30000.0, "lmac": 50000.0})
+        assert run_gate(base, fresh) == 0
+        assert "all 2 protocol(s) within bounds" in capsys.readouterr().out
+
+    def test_noise_within_floor_passes(self, tmp_path):
+        base = artifact(tmp_path, "base.json", {"xmac": 30000.0})
+        fresh = artifact(tmp_path, "fresh.json", {"xmac": 0.8 * 30000.0})
+        assert run_gate(base, fresh) == 0
+
+    def test_regression_below_floor_fails(self, tmp_path, capsys):
+        base = artifact(tmp_path, "base.json", {"xmac": 30000.0, "lmac": 50000.0})
+        fresh = artifact(tmp_path, "fresh.json", {"xmac": 0.5 * 30000.0, "lmac": 50000.0})
+        assert run_gate(base, fresh) == 1
+        out = capsys.readouterr().out
+        assert "FAIL xmac" in out
+        assert "OK   lmac" in out
+
+    def test_speedup_only_warns(self, tmp_path, capsys):
+        base = artifact(tmp_path, "base.json", {"xmac": 30000.0})
+        fresh = artifact(tmp_path, "fresh.json", {"xmac": 2.0 * 30000.0})
+        assert run_gate(base, fresh) == 0
+        assert "WARN xmac" in capsys.readouterr().out
+
+    def test_protocol_missing_from_fresh_fails(self, tmp_path, capsys):
+        base = artifact(tmp_path, "base.json", {"xmac": 30000.0, "lmac": 50000.0})
+        fresh = artifact(tmp_path, "fresh.json", {"xmac": 30000.0})
+        assert run_gate(base, fresh) == 1
+        assert "FAIL lmac" in capsys.readouterr().out
+
+    def test_new_protocol_does_not_gate(self, tmp_path, capsys):
+        base = artifact(tmp_path, "base.json", {"xmac": 30000.0})
+        fresh = artifact(tmp_path, "fresh.json", {"xmac": 30000.0, "scpmac": 1.0})
+        assert run_gate(base, fresh) == 0
+        assert "NOTE scpmac" in capsys.readouterr().out
+
+    def test_custom_thresholds(self, tmp_path):
+        base = artifact(tmp_path, "base.json", {"xmac": 30000.0})
+        fresh = artifact(tmp_path, "fresh.json", {"xmac": 0.8 * 30000.0})
+        assert run_gate(base, fresh, "--fail-below", "0.9") == 1
+
+
+class TestArtifactValidation:
+    def test_missing_fresh_artifact(self, tmp_path):
+        base = artifact(tmp_path, "base.json", {"xmac": 30000.0})
+        with pytest.raises(SystemExit, match="not found"):
+            run_gate(base, tmp_path / "nope.json")
+
+    def test_wrong_schema(self, tmp_path):
+        base = artifact(tmp_path, "base.json", {"xmac": 30000.0})
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schema": "something.else"}))
+        with pytest.raises(SystemExit, match="artifact"):
+            run_gate(base, bad)
+
+    def test_invalid_json(self, tmp_path):
+        base = artifact(tmp_path, "base.json", {"xmac": 30000.0})
+        bad = tmp_path / "bad.json"
+        bad.write_text("{ not json")
+        with pytest.raises(SystemExit, match="JSON"):
+            run_gate(base, bad)
+
+
+class TestCommittedBaseline:
+    def test_baseline_artifact_is_valid(self):
+        payload = check_bench.load_artifact(
+            REPO_ROOT / "benchmarks" / "BENCH_simulator.json"
+        )
+        throughputs = check_bench.throughputs(payload)
+        assert {"xmac", "dmac", "lmac", "scpmac"} <= set(throughputs)
+        assert all(value > 0 for value in throughputs.values())
+
+    def test_baseline_gates_against_itself(self, capsys):
+        baseline = REPO_ROOT / "benchmarks" / "BENCH_simulator.json"
+        assert run_gate(baseline, baseline) == 0

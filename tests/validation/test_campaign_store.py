@@ -1,0 +1,158 @@
+"""Campaign × result store: warm replay, resume after a kill, shard merge."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime import build_runner
+from repro.store import ResultStore, merge_stores
+from repro.validation import CampaignSpec, campaign_to_json, run_campaign
+from repro.validation.campaign import _simulate_payload
+
+FAST_SPEC = dict(
+    scenarios=("paper-default",),
+    protocols=("xmac",),
+    replications=3,
+    horizon=300.0,
+    grid_points_per_dimension=15,
+)
+
+
+def campaign_bytes(result):
+    return campaign_to_json(result)
+
+
+class DiesMidCampaign(Exception):
+    """Stand-in for a SIGKILL'd worker/process."""
+
+
+class _KillingExecutor:
+    """Serial executor that dies after simulating ``survive`` payloads.
+
+    Mimics an interrupted campaign: everything simulated before the "kill"
+    has already been written behind to the store, the rest never ran.
+    """
+
+    workers = 1
+
+    def __init__(self, survive: int) -> None:
+        self.survive = survive
+
+    def describe(self) -> str:
+        return "killing[1]"
+
+    def map_ordered(self, fn, items, on_result=None):
+        results = []
+        for index, item in enumerate(items):
+            if index >= self.survive:
+                raise DiesMidCampaign(f"killed after {self.survive} simulations")
+            result = fn(item)
+            results.append(result)
+            if on_result is not None:
+                on_result(index, result)
+        return results
+
+
+class _CountingExecutor:
+    """Serial executor that counts how many payloads it actually ran."""
+
+    workers = 1
+
+    def __init__(self) -> None:
+        self.calls = 0
+
+    def describe(self) -> str:
+        return "counting[1]"
+
+    def map_ordered(self, fn, items, on_result=None):
+        items = list(items)
+        self.calls += len(items)
+        results = []
+        for index, item in enumerate(items):
+            result = fn(item)
+            results.append(result)
+            if on_result is not None:
+                on_result(index, result)
+        return results
+
+
+class TestWarmReplay:
+    def test_second_run_simulates_nothing(self, tmp_path):
+        spec = CampaignSpec(**FAST_SPEC)
+        store = ResultStore(tmp_path / "store")
+        cold = run_campaign(spec, runner=build_runner(workers=1, store=store))
+        assert store.stats().puts > 0
+
+        counting = _CountingExecutor()
+        warm_store = ResultStore(tmp_path / "store")
+        warm_runner = build_runner(workers=1, store=warm_store)
+        warm_runner._executor = counting  # inject: count replication dispatches
+        warm = run_campaign(spec, runner=warm_runner)
+        assert counting.calls == 0  # every replication answered from disk
+        assert warm_store.stats().puts == 0
+        assert campaign_bytes(warm) == campaign_bytes(cold)
+
+    def test_store_replay_matches_uncached_run(self, tmp_path):
+        spec = CampaignSpec(**FAST_SPEC)
+        baseline = run_campaign(spec, runner=build_runner(workers=1))
+        store = ResultStore(tmp_path / "store")
+        stored = run_campaign(spec, runner=build_runner(workers=1, store=store))
+        replayed = run_campaign(
+            spec, runner=build_runner(workers=1, store=ResultStore(tmp_path / "store"))
+        )
+        assert campaign_bytes(stored) == campaign_bytes(baseline)
+        assert campaign_bytes(replayed) == campaign_bytes(baseline)
+
+
+class TestResumeAfterKill:
+    def test_killed_campaign_resumes_byte_identically(self, tmp_path):
+        spec = CampaignSpec(**FAST_SPEC)
+        cold = run_campaign(spec, runner=build_runner(workers=1))
+        cold_bytes = campaign_bytes(cold)
+
+        # First attempt dies after one replication; that replication must
+        # already be on disk (write-behind happens per payload batch, and
+        # the partial batch raised before returning).
+        store = ResultStore(tmp_path / "store")
+        runner = build_runner(workers=1, store=store)
+        runner._executor = _KillingExecutor(survive=1)
+        with pytest.raises(DiesMidCampaign):
+            run_campaign(spec, runner=runner)
+
+        # Resume with a fresh process-equivalent state over the same store:
+        # only the never-simulated replications run, and the artifact is
+        # byte-identical to the uninterrupted cold run.
+        resumed_store = ResultStore(tmp_path / "store")
+        counting = _CountingExecutor()
+        resumed_runner = build_runner(workers=1, store=resumed_store)
+        resumed_runner._executor = counting
+        resumed = run_campaign(spec, runner=resumed_runner)
+        total = FAST_SPEC["replications"]
+        # Exactly the work the kill destroyed is redone: the one completed
+        # replication (and the stage-1 solve) come from the store.
+        assert counting.calls == total - 1
+        assert resumed_store.stats().hits >= 2  # solve + surviving replication
+        assert campaign_bytes(resumed) == cold_bytes
+
+
+class TestShardedCampaign:
+    def test_shards_merge_to_cold_identical_artifact(self, tmp_path):
+        # Shard by protocol (the round-robin ``--shard I/N`` shape), merge
+        # the two stores, then replay the full campaign warm.
+        full = CampaignSpec(**dict(FAST_SPEC, protocols=("xmac", "lmac")))
+        cold = run_campaign(full, runner=build_runner(workers=1))
+
+        for index, protocol in enumerate(("xmac", "lmac")):
+            shard_spec = CampaignSpec(**dict(FAST_SPEC, protocols=(protocol,)))
+            shard_store = ResultStore(tmp_path / f"shard{index}")
+            run_campaign(shard_spec, runner=build_runner(workers=1, store=shard_store))
+
+        merge_stores([tmp_path / "shard0", tmp_path / "shard1"], tmp_path / "merged")
+        counting = _CountingExecutor()
+        warm_runner = build_runner(
+            workers=1, store=ResultStore(tmp_path / "merged")
+        )
+        warm_runner._executor = counting
+        warm = run_campaign(full, runner=warm_runner)
+        assert counting.calls == 0
+        assert campaign_bytes(warm) == campaign_bytes(cold)

@@ -1,0 +1,170 @@
+"""Benchmark regression gate: fresh simulator throughput vs a baseline.
+
+Run from the repository root (CI's bench-smoke job does, right after the
+simulator benchmark regenerates ``BENCH_simulator.json``)::
+
+    python tools/check_bench.py \
+        --baseline benchmarks/BENCH_simulator.json \
+        --fresh BENCH_simulator.json
+
+Compares the per-protocol ``events_per_second`` of the fresh artifact
+against the committed baseline:
+
+* ratio below ``--fail-below`` (default 0.7×) → **regression**, exit 1;
+* ratio above ``--warn-above`` (default 1.5×) → warning only — either the
+  engine genuinely got faster (refresh the baseline) or the runner machine
+  is not comparable, both worth a human look;
+* anything in between → pass.
+
+Protocols present in the baseline but missing from the fresh artifact are
+failures (the bench silently losing coverage is itself a regression); new
+protocols not yet in the baseline are reported but don't gate.
+
+Throughput on shared CI runners is noisy, so the failure threshold is
+deliberately loose: it catches "accidentally made the event loop 2× slower"
+class regressions, not single-digit percentages.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+#: Expected artifact identity (see ``benchmarks/bench_simulator.py``).
+BENCH_SCHEMA = "repro.bench.simulator"
+BENCH_SCHEMA_VERSION = 1
+
+
+def load_artifact(path: Path) -> Dict[str, object]:
+    """Load and sanity-check one ``BENCH_simulator.json`` artifact.
+
+    Args:
+        path: The artifact file.
+
+    Returns:
+        The decoded payload.
+
+    Raises:
+        SystemExit: with a one-line message when the file is missing,
+            unparsable, or not a simulator bench artifact.
+    """
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        sys.exit(f"error: bench artifact not found: {path}")
+    except json.JSONDecodeError as error:
+        sys.exit(f"error: {path} is not valid JSON: {error}")
+    if not isinstance(payload, dict) or payload.get("schema") != BENCH_SCHEMA:
+        sys.exit(f"error: {path} is not a {BENCH_SCHEMA!r} artifact")
+    if payload.get("schema_version") != BENCH_SCHEMA_VERSION:
+        sys.exit(
+            f"error: {path} has schema_version {payload.get('schema_version')!r}, "
+            f"expected {BENCH_SCHEMA_VERSION}"
+        )
+    if not isinstance(payload.get("protocols"), dict):
+        sys.exit(f"error: {path} has no per-protocol measurements")
+    return payload
+
+
+def throughputs(payload: Dict[str, object]) -> Dict[str, float]:
+    """Per-protocol ``events_per_second``, skipping malformed entries."""
+    result: Dict[str, float] = {}
+    for name, row in payload["protocols"].items():  # type: ignore[union-attr]
+        if isinstance(row, dict):
+            value = row.get("events_per_second")
+            if isinstance(value, (int, float)) and value > 0:
+                result[str(name)] = float(value)
+    return result
+
+
+def compare(
+    baseline: Dict[str, float],
+    fresh: Dict[str, float],
+    fail_below: float,
+    warn_above: float,
+) -> List[str]:
+    """Compare throughputs and print one line per protocol.
+
+    Args:
+        baseline: Committed per-protocol events/second.
+        fresh: Freshly measured per-protocol events/second.
+        fail_below: Failure threshold on ``fresh / baseline``.
+        warn_above: Warning threshold on ``fresh / baseline``.
+
+    Returns:
+        The list of failure messages (empty when the gate passes).
+    """
+    failures: List[str] = []
+    for name in sorted(baseline):
+        if name not in fresh:
+            failures.append(f"{name}: missing from the fresh artifact")
+            print(f"FAIL {name}: baseline has it, fresh artifact does not")
+            continue
+        ratio = fresh[name] / baseline[name]
+        line = (
+            f"{name}: {fresh[name]:,.0f} events/s vs baseline "
+            f"{baseline[name]:,.0f} ({ratio:.2f}x)"
+        )
+        if ratio < fail_below:
+            failures.append(f"{name}: {ratio:.2f}x < {fail_below}x floor")
+            print(f"FAIL {line}")
+        elif ratio > warn_above:
+            print(f"WARN {line} — faster than the baseline; consider refreshing it")
+        else:
+            print(f"OK   {line}")
+    for name in sorted(set(fresh) - set(baseline)):
+        print(f"NOTE {name}: not in the baseline yet ({fresh[name]:,.0f} events/s)")
+    return failures
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=Path("benchmarks/BENCH_simulator.json"),
+        help="committed baseline artifact",
+    )
+    parser.add_argument(
+        "--fresh",
+        type=Path,
+        default=Path("BENCH_simulator.json"),
+        help="freshly generated artifact to gate",
+    )
+    parser.add_argument(
+        "--fail-below",
+        type=float,
+        default=0.7,
+        help="fail when fresh/baseline throughput drops below this ratio",
+    )
+    parser.add_argument(
+        "--warn-above",
+        type=float,
+        default=1.5,
+        help="warn when fresh/baseline throughput exceeds this ratio",
+    )
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    if not 0 < args.fail_below <= 1:
+        sys.exit(f"error: --fail-below must be in (0, 1], got {args.fail_below}")
+    if args.warn_above < 1:
+        sys.exit(f"error: --warn-above must be >= 1, got {args.warn_above}")
+
+    baseline = throughputs(load_artifact(args.baseline))
+    fresh = throughputs(load_artifact(args.fresh))
+    if not baseline:
+        sys.exit(f"error: {args.baseline} contains no usable throughput entries")
+
+    failures = compare(baseline, fresh, args.fail_below, args.warn_above)
+    if failures:
+        print(f"bench gate: {len(failures)} regression(s) vs {args.baseline}")
+        return 1
+    print(f"bench gate: all {len(baseline)} protocol(s) within bounds")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
