@@ -5,8 +5,11 @@ LMAC, SCP-MAC) and reports the event-engine throughput, then fans a batch
 of independently seeded replications out over the runtime's process pool
 and asserts the runtime guarantee extended to simulation workloads: the
 per-replication metrics of a parallel fan-out are identical to a serial
-loop.  The measurements are written to ``BENCH_simulator.json`` (uploaded
-by the CI bench-smoke job).
+loop.  A third stage times the array-batched replication engine against a
+scalar loop over the same seeds, asserts the results are bit-identical,
+and records the ``speedup_vs_scalar`` that ``tools/check_bench.py`` gates
+(≥5× by default).  The measurements are written to
+``BENCH_simulator.json`` (uploaded by the CI bench-smoke job).
 """
 
 from __future__ import annotations
@@ -21,7 +24,11 @@ from repro.network.topology import RingTopology
 from repro.protocols.registry import create_protocol
 from repro.runtime import build_runner
 from repro.scenario import Scenario
-from repro.simulation import SimulationConfig, simulate_protocol
+from repro.simulation import (
+    SimulationConfig,
+    simulate_protocol,
+    simulate_protocol_batched,
+)
 
 #: Fixed benchmark environment: small enough to run routinely, busy enough
 #: (one sample per node per minute) that the event loop dominates.
@@ -38,6 +45,9 @@ PROTOCOL_PARAMS = {
 
 HORIZON = 600.0
 REPLICATIONS = 6
+
+#: Protocols with an array-batched kernel (see repro.simulation.batched).
+BATCHED_PROTOCOLS = ("lmac", "xmac")
 
 ARTIFACT = Path("BENCH_simulator.json")
 
@@ -62,6 +72,7 @@ def test_simulator_throughput_and_parallel_replications(benchmark):
         "horizon_s": HORIZON,
         "protocols": {},
         "replications": {},
+        "batched": {},
     }
 
     # Stage 1: events/second per protocol, one seeded run each.
@@ -124,6 +135,61 @@ def test_simulator_throughput_and_parallel_replications(benchmark):
         f"Replication fan-out {REPLICATIONS}x — serial {serial_seconds:.2f}s "
         f"vs process[{BENCH_WORKERS}] {parallel_seconds:.2f}s",
         [{"seed": seed, "energy": energy, "delay": delay} for seed, energy, delay, _ in serial],
+    )
+
+    # Stage 3: array-batched replication engine vs a scalar loop over the
+    # same seeds — the differential guarantee (bit-identical results) and
+    # the throughput win are measured back to back in the same process.
+    batched_rows = []
+    for name in BATCHED_PROTOCOLS:
+        model = create_protocol(name, SCENARIO)
+        params = PROTOCOL_PARAMS[name]
+        configs = [
+            SimulationConfig(horizon=HORIZON, seed=seed)
+            for seed in range(1, REPLICATIONS + 1)
+        ]
+
+        scalar_started = time.perf_counter()
+        scalar_results = [simulate_protocol(model, params, config) for config in configs]
+        scalar_seconds = time.perf_counter() - scalar_started
+
+        batched_started = time.perf_counter()
+        batched_results = simulate_protocol_batched(model, params, configs)
+        batched_seconds = time.perf_counter() - batched_started
+
+        for config, scalar_result, batched_result in zip(
+            configs, scalar_results, batched_results
+        ):
+            assert batched_result.as_dict() == scalar_result.as_dict(), (
+                f"batched {name} diverged from scalar at seed {config.seed}"
+            )
+        total_events = sum(result.processed_events for result in batched_results)
+        batched_eps = total_events / batched_seconds if batched_seconds > 0 else 0.0
+        engine_speedup = scalar_seconds / batched_seconds if batched_seconds > 0 else 1.0
+        artifact["batched"][name] = {
+            "replications": REPLICATIONS,
+            "events": total_events,
+            "seconds": batched_seconds,
+            "events_per_second": batched_eps,
+            "scalar_seconds": scalar_seconds,
+            "speedup_vs_scalar": engine_speedup,
+        }
+        batched_rows.append(
+            {
+                "protocol": name,
+                "events": total_events,
+                "events_per_s": round(batched_eps),
+                "speedup": round(engine_speedup, 1),
+            }
+        )
+        # Sanity floor only — the real ≥5x gate lives in tools/check_bench.py
+        # (--min-batched-speedup), where it is configurable per runner.
+        assert engine_speedup > 1.0, (
+            f"batched {name} slower than scalar ({engine_speedup:.2f}x)"
+        )
+    print_series(
+        f"Batched replication engine ({REPLICATIONS} seeds, bit-identical)",
+        batched_rows,
     )
 
     ARTIFACT.write_text(json.dumps(artifact, indent=2, sort_keys=True) + "\n", encoding="utf-8")

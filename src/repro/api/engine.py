@@ -450,7 +450,9 @@ def _execute_validate(
             parameters = space.to_dict(space.midpoint())
         jobs.append((model, dict(parameters)))
     config = SimulationConfig(
-        horizon=float(spec.simulation.horizon), seed=int(spec.simulation.seed)
+        horizon=float(spec.simulation.horizon),
+        seed=int(spec.simulation.seed),
+        engine=spec.runtime.sim_engine,
     )
     reports = validate_protocols(jobs, config, executor=runner.executor)
     records = []
@@ -495,6 +497,7 @@ def _execute_campaign(
         energy_tolerance=full.energy_tolerance,
         delay_tolerance=full.delay_tolerance,
         min_delivery_ratio=full.min_delivery_ratio,
+        sim_engine=full.sim_engine,
     )
     result = run_campaign(campaign_spec, runner)
     records = []

@@ -35,6 +35,7 @@ from pathlib import Path
 from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.exceptions import ConfigurationError
+from repro.simulation.runner import SIM_ENGINES
 
 #: Every workload kind a spec may declare, in documentation order.
 WORKLOAD_KINDS = (
@@ -84,16 +85,31 @@ class RuntimePolicy:
         mode: Executor mode (``"auto"``, ``"serial"``, ``"thread"``,
             ``"process"``).
         chunk_size: Tasks per dispatched chunk (``None`` auto-sizes).
+        sim_engine: Simulation engine (``"scalar"`` or ``"batched"``).  The
+            engines are bit-identical, so this lives in the runtime section
+            (excluded from ``spec_hash``) and never changes a result.
     """
 
     workers: int = 1
     cache: bool = True
     mode: str = "auto"
     chunk_size: Optional[int] = None
+    sim_engine: str = "scalar"
+
+    def __post_init__(self) -> None:
+        if self.sim_engine not in SIM_ENGINES:
+            raise ConfigurationError(
+                f"runtime.sim_engine must be one of {', '.join(SIM_ENGINES)}; "
+                f"got {self.sim_engine!r}"
+            )
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, object]) -> "RuntimePolicy":
-        _check_keys("runtime", payload, ("workers", "cache", "mode", "chunk_size"))
+        _check_keys(
+            "runtime",
+            payload,
+            ("workers", "cache", "mode", "chunk_size", "sim_engine"),
+        )
         return cls(
             workers=int(payload.get("workers", 1)),
             cache=bool(payload.get("cache", True)),
@@ -103,6 +119,7 @@ class RuntimePolicy:
                 if payload.get("chunk_size") is None
                 else int(payload["chunk_size"])  # type: ignore[arg-type]
             ),
+            sim_engine=str(payload.get("sim_engine", "scalar")),
         )
 
     def as_dict(self) -> Dict[str, object]:
@@ -111,6 +128,7 @@ class RuntimePolicy:
             "cache": self.cache,
             "mode": self.mode,
             "chunk_size": self.chunk_size,
+            "sim_engine": self.sim_engine,
         }
 
 

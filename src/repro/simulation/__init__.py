@@ -23,12 +23,20 @@ simulated quantities are directly comparable.
 * :mod:`repro.simulation.mac` — per-protocol forwarding behaviours.
 * :mod:`repro.simulation.runner` — experiment driver returning a
   :class:`~repro.simulation.runner.SimulationResult`.
+* :mod:`repro.simulation.batched` — array-batched replication engine,
+  bit-identical to the scalar driver (``engine="batched"``).
 """
 
+from repro.simulation.batched import simulate_protocol_batched
 from repro.simulation.engine import EventQueue, Simulator
 from repro.simulation.energy import EnergyAccount
 from repro.simulation.packets import DataPacket, DeliveryRecord
-from repro.simulation.runner import SimulationConfig, SimulationResult, simulate_protocol
+from repro.simulation.runner import (
+    SIM_ENGINES,
+    SimulationConfig,
+    SimulationResult,
+    simulate_protocol,
+)
 
 __all__ = [
     "EventQueue",
@@ -36,7 +44,9 @@ __all__ = [
     "EnergyAccount",
     "DataPacket",
     "DeliveryRecord",
+    "SIM_ENGINES",
     "SimulationConfig",
     "SimulationResult",
     "simulate_protocol",
+    "simulate_protocol_batched",
 ]

@@ -1,0 +1,34 @@
+"""Array-batched replication engine for the duty-cycle simulator.
+
+The scalar driver (:mod:`repro.simulation.runner`) pays Python object
+dispatch for every event of every replication: behaviour method calls,
+``EnergyAccount`` dict updates, ``DataPacket`` instances, per-draw RNG
+round-trips.  This package re-implements the same simulation as a lean
+per-replication event loop over flat arrays — list-indexed node state,
+tuple events, closure hop planners and block-vectorized RNG draws — and is
+proven **bit-identical** to the scalar engine by a differential test
+harness (``tests/simulation/test_batched_differential.py``).
+
+Entry point: :func:`simulate_protocol_batched` runs R independently seeded
+replications of one protocol configuration.  Behaviours that declare
+``supports_batch`` and have a registered batch kernel (X-MAC and LMAC) run
+on the fast path; everything else transparently falls back to the scalar
+driver per replication, so all four protocols work with
+``engine='batched'`` from day one.
+"""
+
+from repro.simulation.batched.engine import simulate_protocol_batched
+from repro.simulation.batched.kernels import (
+    BatchKernel,
+    LMACBatchKernel,
+    XMACBatchKernel,
+    batch_kernel_for,
+)
+
+__all__ = [
+    "BatchKernel",
+    "LMACBatchKernel",
+    "XMACBatchKernel",
+    "batch_kernel_for",
+    "simulate_protocol_batched",
+]

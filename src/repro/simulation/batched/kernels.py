@@ -1,0 +1,357 @@
+"""Per-protocol batch kernels: the scalar behaviours' arithmetic, flattened.
+
+A batch kernel is the array-engine counterpart of one
+:class:`~repro.simulation.mac.base.DutyCycleKernel` subclass.  It exposes
+
+* :meth:`BatchKernel.assign_phases` — the behaviour's per-node phase draws
+  as one vectorized RNG call (element ``i`` is bit-identical to the ``i``-th
+  scalar draw, and the generator ends in the same stream position);
+* :meth:`BatchKernel.periodic_seconds` — the closed-form periodic cost
+  table collapsed to ``(is_tx, seconds)`` rows, one value shared by every
+  node;
+* :meth:`BatchKernel.make_hop_planner` — a closure that replays the
+  behaviour's ``plan_hop`` (acquire → exchange → overhear) against the flat
+  :class:`~repro.simulation.batched.engine.ReplicationState` arrays.
+
+Every float expression is copied from the scalar behaviour **verbatim**
+(same association, same constant folding, same ``max``/branch structure),
+because the differential harness asserts bit-for-bit equality of the
+resulting traces.  Constants that the scalar code recomputes per hop from
+other constants (e.g. X-MAC's strobe TX fraction) are hoisted out of the
+loop — folding is only legal when the folded value is bit-identical on
+every call.
+
+Kernels are registered per *exact* behaviour class: a user-registered
+subclass of :class:`XMACSimBehaviour` inherits ``supports_batch`` but may
+override ``plan_hop``, so it falls back to the scalar driver instead of
+silently batching with the parent's arithmetic.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple, Type
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+from repro.protocols.base import DutyCycledMACModel, ParameterVector
+from repro.protocols.lmac import LMACModel
+from repro.protocols.xmac import XMACModel
+from repro.simulation.mac.base import DutyCycleKernel
+from repro.simulation.mac.factory import behaviour_class_for
+from repro.simulation.mac.lmac import LMACSimBehaviour
+from repro.simulation.mac.xmac import XMACSimBehaviour
+
+#: Block size of buffered backoff draws.  Drawing ``uniform(0, s, size=k)``
+#: consumes the PCG64 stream exactly like ``k`` scalar draws, so refilling
+#: in blocks keeps values and stream position bit-identical; leftover buffer
+#: entries are simply never compared (the generator dies with the run).
+BACKOFF_BLOCK = 64
+
+
+class BatchKernel:
+    """Base class of the batch kernels; mirrors the scalar constant setup.
+
+    Args:
+        model: The analytical protocol model (same object the scalar
+            behaviour is built from).
+        params: Concrete parameter vector to simulate.
+    """
+
+    #: Must equal the scalar behaviour's ``name`` so results are
+    #: indistinguishable across engines.
+    name: str = "abstract"
+
+    def __init__(self, model: DutyCycledMACModel, params: ParameterVector) -> None:
+        self._model = model
+        self._params = model.coerce(params)
+        self._scenario = model.scenario
+        self._radio = model.scenario.radio
+        self._packets = model.scenario.packets
+        radio = self._radio
+        packets = self._packets
+        # Same shared airtimes DutyCycleKernel.__init__ computes.
+        self._data = packets.data_airtime(radio)
+        self._ack = packets.ack_airtime(radio)
+        self._exchange = self._data + radio.turnaround_time + self._ack
+        self._poll_cost = radio.wakeup_time + radio.carrier_sense_time
+
+    @property
+    def params(self) -> Dict[str, float]:
+        """The simulated parameter vector (same as the scalar behaviour's)."""
+        return dict(self._params)
+
+    # ------------------------------------------------------------------ #
+    # Protocol-specific pieces
+    # ------------------------------------------------------------------ #
+
+    def assign_phases(self, rng: np.random.Generator, count: int) -> List[float]:
+        """Phase offsets for ``count`` nodes, one vectorized draw."""
+        raise NotImplementedError
+
+    def periodic_table(self) -> Tuple[Tuple[bool, float, float, int], ...]:
+        """Periodic cost rows as ``(is_tx, interval, duration, multiplier)``."""
+        raise NotImplementedError
+
+    def make_hop_planner(self, state):
+        """Build ``plan(sender, receiver, now) -> completion`` over ``state``.
+
+        The planner mutates the replication's flat arrays exactly like the
+        scalar ``plan_hop`` mutates nodes/channel: reserves the medium
+        around the sender, accumulates RX/TX seconds on every charged node
+        and bumps the transmission/deferral counters.
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # Shared closed forms
+    # ------------------------------------------------------------------ #
+
+    def periodic_seconds(self, horizon: float) -> List[Tuple[bool, float]]:
+        """Per-node periodic RX/TX seconds over the horizon, row by row.
+
+        Every non-sink node pays the same rows, in table order — the engine
+        adds them to each node's accumulated event seconds sequentially, so
+        the float association matches the scalar per-row ``charge`` calls.
+        """
+        rows: List[Tuple[bool, float]] = []
+        for is_tx, interval, duration, multiplier in self.periodic_table():
+            events = int(horizon / interval)
+            rows.append((is_tx, events * multiplier * duration))
+        return rows
+
+
+class XMACBatchKernel(BatchKernel):
+    """Array-engine twin of :class:`XMACSimBehaviour`."""
+
+    name = "X-MAC"
+
+    def __init__(self, model: DutyCycledMACModel, params: ParameterVector) -> None:
+        super().__init__(model, params)
+        self._wakeup = self._params[XMACModel.WAKEUP_INTERVAL]
+        radio = self._radio
+        packets = self._packets
+        self._strobe = packets.strobe_airtime(radio)
+        self._gap = self._ack + 2.0 * radio.turnaround_time
+        self._strobe_period = self._strobe + self._gap
+        if self._wakeup <= 0:
+            raise SimulationError(f"period must be positive, got {self._wakeup!r}")
+
+    def assign_phases(self, rng: np.random.Generator, count: int) -> List[float]:
+        draws = rng.uniform(0.0, self._wakeup, size=count)
+        return [float(value) for value in draws]
+
+    def periodic_table(self) -> Tuple[Tuple[bool, float, float, int], ...]:
+        return ((False, self._wakeup, self._poll_cost, 1),)
+
+    def make_hop_planner(self, state):
+        wakeup = self._wakeup
+        strobe_period = self._strobe_period
+        exchange = self._exchange
+        data = self._data
+        ack = self._ack
+        # Recomputed per hop in the scalar code but constant per run, so the
+        # folded values are bit-identical on every call.
+        fraction = self._strobe / self._strobe_period
+        listen_fraction = 1.0 - fraction
+        receiver_preamble = 0.5 * self._strobe_period + self._strobe
+        overhear_cost = 1.5 * self._strobe_period
+        draw_backoff = strobe_period > 0
+        phases = state.phases
+        busy_until = state.busy_until
+        rx = state.rx
+        tx = state.tx
+        interference = state.interference
+        overhearers = state.overhearers
+        rng = state.rng
+        ceil = math.ceil
+        buffer: List[float] = []
+        cursor = 0
+
+        def plan(sender: int, receiver: int, now: float) -> float:
+            nonlocal buffer, cursor
+            # acquire_medium(deferral_backoff=strobe_period)
+            free = busy_until[sender]
+            if free > now:
+                state.deferrals += 1
+                start = free
+                if draw_backoff:
+                    if cursor >= len(buffer):
+                        buffer = rng.uniform(
+                            0.0, strobe_period, size=BACKOFF_BLOCK
+                        ).tolist()
+                        cursor = 0
+                    start += buffer[cursor]
+                    cursor += 1
+            else:
+                start = now
+            # next_occurrence(start, wakeup, receiver.phase)
+            phase = phases[receiver]
+            if start <= phase:
+                receiver_poll = phase
+            else:
+                receiver_poll = phase + ceil((start - phase) / wakeup - 1e-12) * wakeup
+            gap = receiver_poll - start
+            if gap < 0.0:
+                gap = 0.0
+            strobe_duration = gap + strobe_period
+            transmission_end = start + strobe_duration + exchange
+            airtime = strobe_duration + exchange
+            # channel.reserve(sender, start, airtime)
+            state.transmissions += 1
+            end = start + airtime
+            for member in interference[sender]:
+                if end > busy_until[member]:
+                    busy_until[member] = end
+            # Sender: strobes, ack-listen gaps, data, ack.
+            tx[sender] += strobe_duration * fraction
+            rx[sender] += strobe_duration * listen_fraction
+            tx[sender] += data
+            rx[sender] += ack
+            # Receiver: residual strobe, early ack, data, ack.
+            rx[receiver] += receiver_preamble
+            tx[receiver] += ack
+            rx[receiver] += data
+            tx[receiver] += ack
+            # Overhearers whose poll falls inside the strobe train.
+            window_end = start + strobe_duration
+            for neighbour in overhearers[sender]:
+                phase = phases[neighbour]
+                if start <= phase:
+                    poll_time = phase
+                else:
+                    poll_time = phase + ceil((start - phase) / wakeup - 1e-12) * wakeup
+                if poll_time <= window_end:
+                    rx[neighbour] += overhear_cost
+            return transmission_end
+
+        return plan
+
+
+class LMACBatchKernel(BatchKernel):
+    """Array-engine twin of :class:`LMACSimBehaviour`."""
+
+    name = "LMAC"
+
+    def __init__(self, model: DutyCycledMACModel, params: ParameterVector) -> None:
+        super().__init__(model, params)
+        if not isinstance(model, LMACModel):
+            raise TypeError("LMACBatchKernel requires an LMACModel")
+        self._slot_length = self._params[LMACModel.SLOT_LENGTH]
+        self._slot_count = int(round(self._params[LMACModel.SLOT_COUNT]))
+        self._frame = self._slot_length * self._slot_count
+        self._control = self._packets.control_airtime(self._radio)
+        self._guard = model._guard_time  # noqa: SLF001 - same package family
+        self._wakeup = self._radio.wakeup_time
+        if self._frame <= 0:
+            raise SimulationError(f"period must be positive, got {self._frame!r}")
+
+    def assign_phases(self, rng: np.random.Generator, count: int) -> List[float]:
+        draws = rng.integers(0, self._slot_count, size=count)
+        return [int(value) * self._slot_length for value in draws]
+
+    def periodic_table(self) -> Tuple[Tuple[bool, float, float, int], ...]:
+        return (
+            (
+                False,
+                self._frame,
+                self._control + self._guard + self._wakeup,
+                self._slot_count - 1,
+            ),
+            (True, self._frame, self._control + self._wakeup, 1),
+        )
+
+    def make_hop_planner(self, state):
+        frame = self._frame
+        guard = self._guard
+        control = self._control
+        data = self._data
+        airtime = self._guard + self._control + self._data
+        phases = state.phases
+        busy_until = state.busy_until
+        rx = state.rx
+        tx = state.tx
+        interference = state.interference
+        ceil = math.ceil
+
+        def plan(sender: int, receiver: int, now: float) -> float:
+            # next_occurrence(now, frame, sender.phase)
+            phase = phases[sender]
+            if now <= phase:
+                slot_start = phase
+            else:
+                slot_start = phase + ceil((now - phase) / frame - 1e-12) * frame
+            # channel.free_at counts a deferral when the medium is busy at
+            # the slot start; the retry waits for the next owned slot.
+            free = busy_until[sender]
+            if free > slot_start:
+                state.deferrals += 1
+                if free <= phase:
+                    start = phase
+                else:
+                    start = phase + ceil((free - phase) / frame - 1e-12) * frame
+            else:
+                start = slot_start
+            data_start = start + guard + control
+            completion = data_start + data
+            # channel.reserve(sender, start, airtime)
+            state.transmissions += 1
+            end = start + airtime
+            for member in interference[sender]:
+                if end > busy_until[member]:
+                    busy_until[member] = end
+            # Data unit only: control traffic is periodic, no acks in LMAC.
+            tx[sender] += data
+            rx[receiver] += data
+            return completion
+
+        return plan
+
+
+#: Exact behaviour class → batch kernel.  Intentionally not keyed by
+#: ``isinstance``: see the module docstring on subclass fallback.
+_KERNELS: Dict[Type[DutyCycleKernel], Type[BatchKernel]] = {
+    XMACSimBehaviour: XMACBatchKernel,
+    LMACSimBehaviour: LMACBatchKernel,
+}
+
+
+def batch_kernel_for(model: DutyCycledMACModel) -> Optional[Type[BatchKernel]]:
+    """Resolve the batch kernel class for a model, or None to fall back.
+
+    Returns None (scalar fallback) when the model's behaviour does not
+    declare ``supports_batch``, has no registered kernel for its *exact*
+    class, or has no behaviour at all — in the last case the scalar driver
+    raises the canonical "no simulated behaviour" error.
+
+    Args:
+        model: The analytical protocol model.
+    """
+    try:
+        behaviour_class = behaviour_class_for(model)
+    except SimulationError:
+        return None
+    if not getattr(behaviour_class, "supports_batch", False):
+        return None
+    return _KERNELS.get(behaviour_class)
+
+
+def register_batch_kernel(
+    behaviour_class: Type[DutyCycleKernel], kernel_class: Type[BatchKernel]
+) -> None:
+    """Register a batch kernel for a behaviour class.
+
+    Args:
+        behaviour_class: The scalar behaviour the kernel replicates
+            (matched by exact class in :func:`batch_kernel_for`).
+        kernel_class: The kernel implementation.
+
+    Raises:
+        SimulationError: if either argument has the wrong base class.
+    """
+    if not (isinstance(behaviour_class, type) and issubclass(behaviour_class, DutyCycleKernel)):
+        raise SimulationError("behaviour_class must derive from DutyCycleKernel")
+    if not (isinstance(kernel_class, type) and issubclass(kernel_class, BatchKernel)):
+        raise SimulationError("kernel_class must derive from BatchKernel")
+    _KERNELS[behaviour_class] = kernel_class

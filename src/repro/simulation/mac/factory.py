@@ -66,6 +66,32 @@ def available_mac_protocols() -> List[str]:
     ]
 
 
+def behaviour_class_for(model: DutyCycledMACModel) -> Type[MACSimBehaviour]:
+    """Resolve the behaviour class for a model without instantiating it.
+
+    Instantiating a behaviour may consume RNG draws; the batched engine uses
+    this to pick a batch kernel before any randomness is spent.
+
+    Args:
+        model: The analytical protocol model.
+
+    Returns:
+        The behaviour class :func:`behaviour_for_model` would instantiate.
+
+    Raises:
+        SimulationError: if the model has no registered simulated
+            counterpart.
+    """
+    for model_class, behaviour_class in _BEHAVIOURS.items():
+        if isinstance(model, model_class):
+            return behaviour_class
+    raise SimulationError(
+        f"no simulated behaviour is registered for {type(model).__name__} "
+        f"({model.name}); protocols with a simulator: "
+        f"{', '.join(available_mac_protocols())}"
+    )
+
+
 def behaviour_for_model(
     model: DutyCycledMACModel,
     params: Mapping[str, float] | Sequence[float] | np.ndarray,
@@ -86,14 +112,7 @@ def behaviour_for_model(
             counterpart (an analytical-only user-registered protocol); the
             message lists the simulatable protocol names.
     """
-    for model_class, behaviour_class in _BEHAVIOURS.items():
-        if isinstance(model, model_class):
-            return behaviour_class(model, params, rng)
-    raise SimulationError(
-        f"no simulated behaviour is registered for {type(model).__name__} "
-        f"({model.name}); protocols with a simulator: "
-        f"{', '.join(available_mac_protocols())}"
-    )
+    return behaviour_class_for(model)(model, params, rng)
 
 
 def register_behaviour(

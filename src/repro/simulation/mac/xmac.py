@@ -35,6 +35,7 @@ class XMACSimBehaviour(DutyCycleKernel):
     """Operational simulation of X-MAC for one parameter setting."""
 
     name = "X-MAC"
+    supports_batch = True
 
     def __init__(
         self,

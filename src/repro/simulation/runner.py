@@ -26,6 +26,10 @@ from repro.simulation.node import SensorNode
 from repro.simulation.packets import DataPacket, DeliveryRecord, PacketLog
 
 
+#: Valid values of :attr:`SimulationConfig.engine`.
+SIM_ENGINES = ("scalar", "batched")
+
+
 @dataclass(frozen=True)
 class SimulationConfig:
     """Configuration of one simulation run.
@@ -40,6 +44,10 @@ class SimulationConfig:
             by never getting a chance to be delivered.
         queue_capacity: Per-node forwarding-queue capacity.
         max_events: Safety budget for the event loop.
+        engine: ``"scalar"`` (the per-event object driver) or ``"batched"``
+            (the array engine of :mod:`repro.simulation.batched`).  The two
+            produce bit-identical results; the knob only trades Python
+            dispatch for array bookkeeping.
     """
 
     horizon: float = 2000.0
@@ -48,6 +56,7 @@ class SimulationConfig:
     generation_cutoff: float = 0.9
     queue_capacity: int = 64
     max_events: int = 2_000_000
+    engine: str = "scalar"
 
     def __post_init__(self) -> None:
         if self.horizon <= 0:
@@ -56,6 +65,11 @@ class SimulationConfig:
             raise SimulationError("generation_cutoff must lie in (0, 1]")
         if self.queue_capacity < 1:
             raise SimulationError("queue_capacity must be >= 1")
+        if self.engine not in SIM_ENGINES:
+            raise SimulationError(
+                f"unknown simulation engine {self.engine!r}; "
+                f"choose from {', '.join(SIM_ENGINES)}"
+            )
 
 
 @dataclass
@@ -341,4 +355,10 @@ def simulate_protocol(
             behaviour (an analytical-only user-registered protocol) or the
             configuration is inconsistent.
     """
-    return _SimulationRun(model, params, config or SimulationConfig()).run()
+    config = config or SimulationConfig()
+    if config.engine == "batched":
+        # Imported lazily: the batched engine builds on this module.
+        from repro.simulation.batched import simulate_protocol_batched
+
+        return simulate_protocol_batched(model, params, [config])[0]
+    return _SimulationRun(model, params, config).run()

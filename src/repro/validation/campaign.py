@@ -35,7 +35,7 @@ from repro.protocols.registry import canonical_name, protocol_class
 from repro.runtime import BatchRunner, default_runner
 from repro.scenarios.presets import available_scenarios, scenario_preset
 from repro.simulation.mac.factory import available_mac_protocols, has_behaviour_for
-from repro.simulation.runner import SimulationConfig, simulate_protocol
+from repro.simulation.runner import SIM_ENGINES, SimulationConfig, simulate_protocol
 from repro.validation.stats import MetricAggregate, StreamingMoments
 
 #: Metrics every campaign cell aggregates, in artifact order.
@@ -84,6 +84,11 @@ class CampaignSpec:
             prediction against the simulated mean.
         delay_tolerance: Allowed relative error of the delay prediction.
         min_delivery_ratio: Floor on the mean delivery ratio.
+        sim_engine: Simulation engine the replications run on (``"scalar"``
+            or ``"batched"``).  Pure runtime provenance: the engines are
+            bit-identical, so the knob is excluded from :meth:`as_dict`
+            (campaign artifacts stay byte-identical across engines) and
+            from the result-store record keys.
     """
 
     scenarios: Tuple[str, ...] = ()
@@ -96,6 +101,7 @@ class CampaignSpec:
     energy_tolerance: float = 0.35
     delay_tolerance: float = 0.6
     min_delivery_ratio: float = 0.9
+    sim_engine: str = "scalar"
 
     def __post_init__(self) -> None:
         scenarios = tuple(self.scenarios) or tuple(available_scenarios())
@@ -135,6 +141,11 @@ class CampaignSpec:
         if not (0.0 <= self.min_delivery_ratio <= 1.0):
             raise ConfigurationError(
                 f"min_delivery_ratio must lie in [0, 1], got {self.min_delivery_ratio!r}"
+            )
+        if self.sim_engine not in SIM_ENGINES:
+            raise ConfigurationError(
+                f"unknown simulation engine {self.sim_engine!r}; "
+                f"choose from {', '.join(SIM_ENGINES)}"
             )
 
     @property
@@ -780,7 +791,13 @@ def run_campaign(
     for scenario_name, protocol, model, params, _, _, seeds in pending:
         for seed in seeds:
             payloads.append(
-                (model, params, SimulationConfig(horizon=spec.horizon, seed=seed))
+                (
+                    model,
+                    params,
+                    SimulationConfig(
+                        horizon=spec.horizon, seed=seed, engine=spec.sim_engine
+                    ),
+                )
             )
     flat_measurements = _run_replications(payloads, runner, store)
 

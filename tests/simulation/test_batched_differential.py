@@ -1,0 +1,278 @@
+"""Differential harness: the batched engine is bit-identical to the scalar one.
+
+The batched engine (:mod:`repro.simulation.batched`) is only allowed to
+exist because it changes *nothing*: every metric of every replication —
+per-node power, per-ring delay lists, packet and channel counters — must
+match the scalar driver bit for bit at the same seed.  This module enforces
+that three ways:
+
+* a seeded fuzzer sweeps ~200 random (scenario, protocol, seed, horizon,
+  sampling period) tuples derived from the preset library — the first
+  :data:`FAST_CASES` run in tier-1, the full sweep is marked ``slow``;
+* a campaign identity test proves whole campaign artifacts (JSON bytes
+  included) are independent of ``sim_engine``;
+* edge cases both engines must agree on: horizons shorter than one duty
+  cycle, single replications, R=0, fallback protocols, invalid engines.
+
+Floats are compared with ``==`` (bit-equality for the NaN-free quantities
+the simulator produces); mismatches are reported in ``float.hex`` so a
+one-ulp drift is visible in the failure message.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.network.topology import RingTopology
+from repro.protocols.registry import create_protocol
+from repro.scenario import Scenario
+from repro.scenarios.presets import scenario_preset, scenario_presets
+from repro.simulation import (
+    SimulationConfig,
+    simulate_protocol,
+    simulate_protocol_batched,
+)
+from repro.validation.campaign import CampaignSpec, run_campaign
+
+#: Mid-box parameter vectors, one per protocol (the bench's choices).
+PROTOCOL_PARAMS = {
+    "xmac": {"wakeup_interval": 0.3},
+    "dmac": {"frame_length": 1.0},
+    "lmac": {"slot_length": 0.02, "slot_count": 9.0},
+    "scpmac": {"poll_interval": 0.3},
+}
+PROTOCOLS = tuple(sorted(PROTOCOL_PARAMS))
+ENGINES = ("scalar", "batched")
+
+#: Fields of SimulationResult compared bit-for-bit.
+_COMPARED_FIELDS = (
+    "protocol",
+    "parameters",
+    "horizon",
+    "node_power",
+    "ring_power",
+    "delays_by_ring",
+    "generated_packets",
+    "delivered_packets",
+    "dropped_packets",
+    "channel_transmissions",
+    "channel_deferrals",
+    "processed_events",
+)
+
+
+def _hex(value):
+    """Floats as hex (exact), everything else as repr."""
+    if isinstance(value, float):
+        return float.hex(value)
+    if isinstance(value, dict):
+        return {key: _hex(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [_hex(item) for item in value]
+    return repr(value)
+
+
+def assert_bit_identical(scalar, batched, context=""):
+    """Assert two SimulationResults match field by field, bit for bit."""
+    for field in _COMPARED_FIELDS:
+        left = getattr(scalar, field)
+        right = getattr(batched, field)
+        assert left == right, (
+            f"{context}: {field} diverged\n"
+            f"  scalar:  {_hex(left)}\n"
+            f"  batched: {_hex(right)}"
+        )
+
+
+def _traffic_scenario(preset_name: str, period: float) -> Scenario:
+    """A preset's environment with a sampling period that produces traffic.
+
+    Most presets sample once an hour, which generates nothing at the short
+    horizons the fuzzer uses — the replacement keeps the preset's topology,
+    radio and frame sizes and only raises the traffic rate.
+    """
+    preset = scenario_preset(preset_name)
+    return dataclasses.replace(preset.scenario, sampling_rate=1.0 / period)
+
+
+def _generate_cases(count: int):
+    """Deterministic fuzz tuples; the module-level seed pins the sweep."""
+    preset_names = sorted(preset.name for preset in scenario_presets())
+    rng = np.random.default_rng(202608)
+    cases = []
+    for index in range(count):
+        preset = preset_names[int(rng.integers(len(preset_names)))]
+        protocol = PROTOCOLS[int(rng.integers(len(PROTOCOLS)))]
+        seed = int(rng.integers(0, 2**31))
+        horizon = float(rng.choice((60.0, 90.0, 150.0, 240.0)))
+        period = float(rng.choice((30.0, 60.0, 120.0)))
+        cases.append(
+            pytest.param(
+                preset,
+                protocol,
+                seed,
+                horizon,
+                period,
+                id=f"{index:03d}-{preset}-{protocol}-s{seed}",
+            )
+        )
+    return cases
+
+
+CASES = _generate_cases(200)
+#: Tier-1 subset: enough to catch a broken invariant on every push without
+#: paying for the full sweep.
+FAST_CASES = CASES[:20]
+
+
+def _run_both(preset, protocol, seed, horizon, period):
+    scenario = _traffic_scenario(preset, period)
+    model = create_protocol(protocol, scenario)
+    params = PROTOCOL_PARAMS[protocol]
+    scalar = simulate_protocol(
+        model, params, SimulationConfig(horizon=horizon, seed=seed)
+    )
+    batched = simulate_protocol(
+        model, params, SimulationConfig(horizon=horizon, seed=seed, engine="batched")
+    )
+    return scalar, batched
+
+
+class TestFuzzedIdentityFast:
+    """Tier-1 subset of the differential sweep."""
+
+    @pytest.mark.parametrize("preset,protocol,seed,horizon,period", FAST_CASES)
+    def test_bit_identical(self, preset, protocol, seed, horizon, period):
+        scalar, batched = _run_both(preset, protocol, seed, horizon, period)
+        assert_bit_identical(
+            scalar, batched, context=f"{preset}/{protocol}/seed={seed}"
+        )
+
+
+@pytest.mark.slow
+class TestFuzzedIdentityFull:
+    """The full ~200-case sweep (deselected by default; ``-m slow`` runs it)."""
+
+    @pytest.mark.parametrize("preset,protocol,seed,horizon,period", CASES[len(FAST_CASES):])
+    def test_bit_identical(self, preset, protocol, seed, horizon, period):
+        scalar, batched = _run_both(preset, protocol, seed, horizon, period)
+        assert_bit_identical(
+            scalar, batched, context=f"{preset}/{protocol}/seed={seed}"
+        )
+
+
+class TestCampaignIdentity:
+    """``sim_engine`` is runtime provenance: campaign results don't move."""
+
+    @staticmethod
+    def _spec(engine: str) -> CampaignSpec:
+        return CampaignSpec(
+            scenarios=("high-rate",),
+            protocols=("xmac", "lmac"),
+            replications=2,
+            horizon=200.0,
+            grid_points_per_dimension=12,
+            sim_engine=engine,
+        )
+
+    def test_cells_and_artifact_bytes_identical(self):
+        scalar = run_campaign(self._spec("scalar"))
+        batched = run_campaign(self._spec("batched"))
+        scalar_bytes = json.dumps(scalar.as_dict(), sort_keys=True)
+        batched_bytes = json.dumps(batched.as_dict(), sort_keys=True)
+        assert scalar_bytes == batched_bytes
+
+    def test_spec_dict_excludes_engine(self):
+        # The artifact embeds the campaign spec; an engine field there would
+        # break cross-engine byte-identity (and store replays).
+        assert "sim_engine" not in self._spec("batched").as_dict()
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(Exception, match="engine"):
+            self._spec("vectorized")
+
+
+class TestEdgeCases:
+    """Degenerate inputs both engines must handle the same way."""
+
+    @staticmethod
+    def _model():
+        scenario = Scenario(RingTopology(depth=3, density=4), sampling_rate=1.0 / 60.0)
+        return create_protocol("xmac", scenario)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_horizon_shorter_than_one_duty_cycle(self, engine):
+        # 50 ms horizon vs a 300 ms wake-up interval: zero periodic polls
+        # fit, no packet is generated, every node idles at sleep power.
+        model = self._model()
+        config = SimulationConfig(horizon=0.05, seed=3, engine=engine)
+        result = simulate_protocol(model, PROTOCOL_PARAMS["xmac"], config)
+        assert result.generated_packets == 0
+        sleep_power = model.scenario.radio.power_sleep
+        assert set(result.node_power.values()) == {sleep_power}
+
+    def test_short_horizon_identical_across_engines(self):
+        model = self._model()
+        scalar = simulate_protocol(
+            model, PROTOCOL_PARAMS["xmac"], SimulationConfig(horizon=0.05, seed=3)
+        )
+        batched = simulate_protocol(
+            model,
+            PROTOCOL_PARAMS["xmac"],
+            SimulationConfig(horizon=0.05, seed=3, engine="batched"),
+        )
+        assert_bit_identical(scalar, batched, context="short-horizon")
+
+    def test_single_replication(self):
+        model = self._model()
+        config = SimulationConfig(horizon=300.0, seed=5)
+        (batched,) = simulate_protocol_batched(
+            model, PROTOCOL_PARAMS["xmac"], [config]
+        )
+        scalar = simulate_protocol(model, PROTOCOL_PARAMS["xmac"], config)
+        assert_bit_identical(scalar, batched, context="single-replication")
+
+    def test_zero_replications_is_a_clean_error(self):
+        with pytest.raises(SimulationError, match="at least one replication"):
+            simulate_protocol_batched(self._model(), PROTOCOL_PARAMS["xmac"], [])
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(SimulationError, match="unknown simulation engine"):
+            SimulationConfig(engine="vectorized")
+
+    @pytest.mark.parametrize("protocol", ("dmac", "scpmac"))
+    def test_fallback_protocols_match_scalar(self, protocol):
+        # DMAC/SCP-MAC have no batch kernel yet; engine='batched' must
+        # transparently produce the scalar result.
+        scenario = Scenario(RingTopology(depth=3, density=4), sampling_rate=1.0 / 60.0)
+        model = create_protocol(protocol, scenario)
+        params = PROTOCOL_PARAMS[protocol]
+        scalar = simulate_protocol(
+            model, params, SimulationConfig(horizon=300.0, seed=9)
+        )
+        batched = simulate_protocol(
+            model, params, SimulationConfig(horizon=300.0, seed=9, engine="batched")
+        )
+        assert_bit_identical(scalar, batched, context=f"fallback-{protocol}")
+
+    def test_replications_vary_only_by_seed(self):
+        # The batched entry point accepts heterogeneous configs; each one is
+        # honoured independently.
+        model = self._model()
+        configs = [
+            SimulationConfig(horizon=200.0, seed=seed, engine="batched")
+            for seed in (1, 2, 3)
+        ]
+        results = simulate_protocol_batched(model, PROTOCOL_PARAMS["xmac"], configs)
+        for config, result in zip(configs, results):
+            scalar = simulate_protocol(
+                model,
+                PROTOCOL_PARAMS["xmac"],
+                SimulationConfig(horizon=200.0, seed=config.seed),
+            )
+            assert_bit_identical(scalar, result, context=f"seed={config.seed}")

@@ -91,30 +91,137 @@ GOLDEN_TRACES = {
             36: "0x1.0fe1c5747e9f4p-7",
         },
     },
+    "scpmac": {
+        "system_energy": "0x1.789c6ab7a73dbp-11",
+        "bottleneck_ring_energy": "0x1.75d6c8518aa14p-11",
+        "max_ring_delay": "0x1.7ca4f1f7bbfdbp-1",
+        "counters": (162, 162, 395, 0),
+        "node_power": {
+            1: "0x1.738576ddd7460p-11",
+            2: "0x1.75e88c8064735p-11",
+            3: "0x1.7550b330478dfp-11",
+            36: "0x1.561819d6bc9d6p-11",
+        },
+    },
+}
+
+#: Both engines must reproduce the goldens: the batched engine dispatches
+#: X-MAC/LMAC to array kernels and falls back to the scalar driver for the
+#: rest — either way the trace is the same trace.
+ENGINES = ("scalar", "batched")
+
+
+# Pinned edge-path traces (captured from the scalar engine at the settings
+# below): a contended SCP-MAC run whose lost epochs retry at the next poll
+# (193 deferrals), a contended X-MAC run whose collisions resolve by
+# backoff-deferral (108 deferrals), each at sampling_rate=1/20, horizon=300,
+# seed=7 on the depth-3/density-4 ring.
+GOLDEN_EDGE_TRACES = {
+    "scpmac-lost-epoch": {
+        "protocol": "scpmac",
+        "params": {"poll_interval": 0.5},
+        "system_energy": "0x1.bbdfc666290d2p-11",
+        "bottleneck_ring_energy": "0x1.ba77ca53ef8f8p-11",
+        "max_ring_delay": "0x1.8d4c9ed81bf42p+0",
+        "counters": (487, 487, 1191, 193),
+        "node_power": {
+            1: "0x1.b8d7eeae58c09p-11",
+            2: "0x1.b999f80b2877bp-11",
+            3: "0x1.bb8d7c3013f89p-11",
+            36: "0x1.f5ea7958ba18ap-12",
+        },
+    },
+    "xmac-contention-defer": {
+        "protocol": "xmac",
+        "params": {"wakeup_interval": 0.3},
+        "system_energy": "0x1.9cc68af77e2acp-8",
+        "bottleneck_ring_energy": "0x1.2d931e65fe5dfp-8",
+        "max_ring_delay": "0x1.2ca008bc3b6fbp-1",
+        "counters": (485, 485, 1186, 108),
+        "node_power": {
+            1: "0x1.5fe2ecdc882c3p-8",
+            2: "0x1.9cc68af77e2acp-8",
+            3: "0x1.ebc92fdc1543fp-9",
+            36: "0x1.1dc4d2f293a00p-10",
+        },
+    },
+}
+
+# Zero-traffic periodic-charge paths: with no packets the only energy is
+# the closed-form PeriodicCharge table, so every node lands on the same
+# pinned power (horizon=50, seed=3, sampling once per 1e7 s).  X-MAC and
+# SCP-MAC coincide because both charge one poll per wake-up interval.
+GOLDEN_QUIET_POWERS = {
+    "xmac": "0x1.4d81479e5e778p-11",
+    "lmac": "0x1.0f22d02c9a62ep-7",
+    "scpmac": "0x1.4d81479e5e778p-11",
 }
 
 
+def _check_golden(result, golden):
+    assert result.system_energy == float.fromhex(golden["system_energy"])
+    assert result.bottleneck_ring_energy == float.fromhex(
+        golden["bottleneck_ring_energy"]
+    )
+    assert result.max_ring_delay() == float.fromhex(golden["max_ring_delay"])
+    assert (
+        result.generated_packets,
+        result.delivered_packets,
+        result.channel_transmissions,
+        result.channel_deferrals,
+    ) == golden["counters"]
+    for node_id, expected in golden["node_power"].items():
+        assert result.node_power[node_id] == float.fromhex(expected)
+
+
 class TestTraceCompatibility:
+    @pytest.mark.parametrize("engine", ENGINES)
     @pytest.mark.parametrize("name", sorted(GOLDEN_TRACES))
-    def test_kernel_reproduces_pre_refactor_traces_bit_identically(self, scenario, name):
+    def test_kernel_reproduces_pre_refactor_traces_bit_identically(
+        self, scenario, name, engine
+    ):
         model, params = {
             case[0]: (case[1], case[2]) for case in protocol_cases(scenario)
         }[name]
-        golden = GOLDEN_TRACES[name]
-        result = simulate_protocol(model, params, SimulationConfig(horizon=600.0, seed=11))
-        assert result.system_energy == float.fromhex(golden["system_energy"])
-        assert result.bottleneck_ring_energy == float.fromhex(
-            golden["bottleneck_ring_energy"]
+        result = simulate_protocol(
+            model, params, SimulationConfig(horizon=600.0, seed=11, engine=engine)
         )
-        assert result.max_ring_delay() == float.fromhex(golden["max_ring_delay"])
-        assert (
-            result.generated_packets,
-            result.delivered_packets,
-            result.channel_transmissions,
-            result.channel_deferrals,
-        ) == golden["counters"]
-        for node_id, expected in golden["node_power"].items():
-            assert result.node_power[node_id] == float.fromhex(expected)
+        _check_golden(result, GOLDEN_TRACES[name])
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize("name", sorted(GOLDEN_EDGE_TRACES))
+    def test_edge_path_traces_are_pinned(self, name, engine):
+        golden = GOLDEN_EDGE_TRACES[name]
+        contended = Scenario(
+            topology=RingTopology(depth=3, density=4), sampling_rate=1.0 / 20.0
+        )
+        model = {
+            case[0]: case[1] for case in protocol_cases(contended)
+        }[golden["protocol"]]
+        result = simulate_protocol(
+            model,
+            golden["params"],
+            SimulationConfig(horizon=300.0, seed=7, engine=engine),
+        )
+        # The edge path actually fired: deferrals in the pinned counters.
+        assert golden["counters"][3] > 0
+        _check_golden(result, golden)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize("name", sorted(GOLDEN_QUIET_POWERS))
+    def test_zero_traffic_periodic_charges_are_pinned(self, name, engine):
+        quiet = Scenario(
+            topology=RingTopology(depth=3, density=4), sampling_rate=1.0 / 1.0e7
+        )
+        model, params = {
+            case[0]: (case[1], case[2]) for case in protocol_cases(quiet)
+        }[name]
+        result = simulate_protocol(
+            model, params, SimulationConfig(horizon=50.0, seed=3, engine=engine)
+        )
+        assert result.generated_packets == 0
+        expected = float.fromhex(GOLDEN_QUIET_POWERS[name])
+        assert set(result.node_power.values()) == {expected}
 
 
 class TestSeedDeterminism:

@@ -23,7 +23,7 @@ def _load_gate():
 check_bench = _load_gate()
 
 
-def artifact(tmp_path, name, throughputs):
+def artifact(tmp_path, name, throughputs, batched=None):
     payload = {
         "schema": "repro.bench.simulator",
         "schema_version": 1,
@@ -33,6 +33,12 @@ def artifact(tmp_path, name, throughputs):
             for protocol, value in throughputs.items()
         },
     }
+    if batched is not None:
+        payload["batched"] = {
+            protocol: {"events": 6000, "seconds": 1.0, "events_per_second": value,
+                       "speedup_vs_scalar": speedup}
+            for protocol, (value, speedup) in batched.items()
+        }
     path = tmp_path / name
     path.write_text(json.dumps(payload))
     return path
@@ -49,7 +55,7 @@ class TestGate:
         base = artifact(tmp_path, "base.json", {"xmac": 30000.0, "lmac": 50000.0})
         fresh = artifact(tmp_path, "fresh.json", {"xmac": 30000.0, "lmac": 50000.0})
         assert run_gate(base, fresh) == 0
-        assert "all 2 protocol(s) within bounds" in capsys.readouterr().out
+        assert "all 2 gated entries within bounds" in capsys.readouterr().out
 
     def test_noise_within_floor_passes(self, tmp_path):
         base = artifact(tmp_path, "base.json", {"xmac": 30000.0})
@@ -88,6 +94,74 @@ class TestGate:
         assert run_gate(base, fresh, "--fail-below", "0.9") == 1
 
 
+class TestBatchedGate:
+    """The ``batched`` section: relative regression + absolute speedup floor."""
+
+    def test_identical_batched_passes(self, tmp_path, capsys):
+        stats = {"xmac": (300000.0, 10.0), "lmac": (400000.0, 6.5)}
+        base = artifact(tmp_path, "base.json", {"xmac": 30000.0}, batched=stats)
+        fresh = artifact(tmp_path, "fresh.json", {"xmac": 30000.0}, batched=stats)
+        assert run_gate(base, fresh) == 0
+        out = capsys.readouterr().out
+        assert "OK   batched/xmac" in out
+        assert "OK   batched xmac: 10.0x vs scalar" in out
+        assert "all 3 gated entries within bounds" in out
+
+    def test_batched_throughput_regression_fails(self, tmp_path, capsys):
+        base = artifact(
+            tmp_path, "base.json", {"xmac": 30000.0}, batched={"xmac": (300000.0, 10.0)}
+        )
+        fresh = artifact(
+            tmp_path, "fresh.json", {"xmac": 30000.0}, batched={"xmac": (100000.0, 10.0)}
+        )
+        assert run_gate(base, fresh) == 1
+        assert "FAIL batched/xmac" in capsys.readouterr().out
+
+    def test_speedup_below_floor_fails(self, tmp_path, capsys):
+        base = artifact(
+            tmp_path, "base.json", {"xmac": 30000.0}, batched={"xmac": (300000.0, 10.0)}
+        )
+        fresh = artifact(
+            tmp_path, "fresh.json", {"xmac": 30000.0}, batched={"xmac": (300000.0, 3.0)}
+        )
+        assert run_gate(base, fresh) == 1
+        assert "FAIL batched xmac: 3.0x vs scalar (floor 5x)" in capsys.readouterr().out
+
+    def test_custom_speedup_floor(self, tmp_path):
+        base = artifact(
+            tmp_path, "base.json", {"xmac": 30000.0}, batched={"xmac": (300000.0, 6.0)}
+        )
+        fresh = artifact(
+            tmp_path, "fresh.json", {"xmac": 30000.0}, batched={"xmac": (300000.0, 6.0)}
+        )
+        assert run_gate(base, fresh, "--min-batched-speedup", "7.0") == 1
+        assert run_gate(base, fresh, "--min-batched-speedup", "0") == 0
+
+    def test_batched_missing_from_fresh_fails(self, tmp_path, capsys):
+        base = artifact(
+            tmp_path, "base.json", {"xmac": 30000.0}, batched={"xmac": (300000.0, 10.0)}
+        )
+        fresh = artifact(tmp_path, "fresh.json", {"xmac": 30000.0})
+        assert run_gate(base, fresh) == 1
+        assert "FAIL batched/xmac: baseline has it" in capsys.readouterr().out
+
+    def test_artifact_without_batched_section_still_gates_scalar(self, tmp_path):
+        # Pre-batched artifacts (no "batched" key) stay valid inputs.
+        base = artifact(tmp_path, "base.json", {"xmac": 30000.0})
+        fresh = artifact(tmp_path, "fresh.json", {"xmac": 30000.0})
+        assert run_gate(base, fresh) == 0
+
+    def test_fresh_speedup_gates_even_without_baseline_entry(self, tmp_path, capsys):
+        # A brand-new batched protocol has no baseline to compare against,
+        # but its absolute speedup floor applies from the first run.
+        base = artifact(tmp_path, "base.json", {"xmac": 30000.0})
+        fresh = artifact(
+            tmp_path, "fresh.json", {"xmac": 30000.0}, batched={"lmac": (300000.0, 2.0)}
+        )
+        assert run_gate(base, fresh) == 1
+        assert "FAIL batched lmac" in capsys.readouterr().out
+
+
 class TestArtifactValidation:
     def test_missing_fresh_artifact(self, tmp_path):
         base = artifact(tmp_path, "base.json", {"xmac": 30000.0})
@@ -117,6 +191,16 @@ class TestCommittedBaseline:
         throughputs = check_bench.throughputs(payload)
         assert {"xmac", "dmac", "lmac", "scpmac"} <= set(throughputs)
         assert all(value > 0 for value in throughputs.values())
+
+    def test_baseline_batched_section_meets_the_floor(self):
+        payload = check_bench.load_artifact(
+            REPO_ROOT / "benchmarks" / "BENCH_simulator.json"
+        )
+        batched = check_bench.batched_stats(payload)
+        assert {"xmac", "lmac"} <= set(batched)
+        # The acceptance bar: >=5x for at least two protocols, recorded in
+        # the committed baseline itself.
+        assert all(row["speedup_vs_scalar"] >= 5.0 for row in batched.values())
 
     def test_baseline_gates_against_itself(self, capsys):
         baseline = REPO_ROOT / "benchmarks" / "BENCH_simulator.json"

@@ -20,6 +20,13 @@ Protocols present in the baseline but missing from the fresh artifact are
 failures (the bench silently losing coverage is itself a regression); new
 protocols not yet in the baseline are reported but don't gate.
 
+The artifact's ``batched`` section (the array-batched replication engine)
+is gated the same way, plus an absolute floor: every batched protocol's
+``speedup_vs_scalar`` must reach ``--min-batched-speedup`` (default 5×,
+``0`` disables).  The speedup is a within-process ratio of the two engines
+over the same seeds, so unlike raw throughput it is stable across runner
+machines.
+
 Throughput on shared CI runners is noisy, so the failure threshold is
 deliberately loose: it catches "accidentally made the event loop 2× slower"
 class regressions, not single-digit percentages.
@@ -78,6 +85,57 @@ def throughputs(payload: Dict[str, object]) -> Dict[str, float]:
             if isinstance(value, (int, float)) and value > 0:
                 result[str(name)] = float(value)
     return result
+
+
+def batched_stats(payload: Dict[str, object]) -> Dict[str, Dict[str, float]]:
+    """Per-protocol batched-engine stats; empty when the artifact predates
+    the ``batched`` section (schema version 1 artifacts without it stay
+    valid)."""
+    section = payload.get("batched")
+    result: Dict[str, Dict[str, float]] = {}
+    if not isinstance(section, dict):
+        return result
+    for name, row in section.items():
+        if not isinstance(row, dict):
+            continue
+        value = row.get("events_per_second")
+        speedup = row.get("speedup_vs_scalar")
+        if isinstance(value, (int, float)) and value > 0:
+            result[str(name)] = {
+                "events_per_second": float(value),
+                "speedup_vs_scalar": (
+                    float(speedup) if isinstance(speedup, (int, float)) else 0.0
+                ),
+            }
+    return result
+
+
+def check_batched_speedups(
+    fresh: Dict[str, Dict[str, float]], min_speedup: float
+) -> List[str]:
+    """Enforce the absolute batched-vs-scalar speedup floor.
+
+    Args:
+        fresh: Freshly measured batched stats (:func:`batched_stats`).
+        min_speedup: Required ``speedup_vs_scalar``; ``0`` disables.
+
+    Returns:
+        The list of failure messages (empty when the floor holds).
+    """
+    failures: List[str] = []
+    if min_speedup <= 0:
+        return failures
+    for name in sorted(fresh):
+        speedup = fresh[name]["speedup_vs_scalar"]
+        line = f"batched {name}: {speedup:.1f}x vs scalar (floor {min_speedup:g}x)"
+        if speedup < min_speedup:
+            failures.append(
+                f"batched {name}: {speedup:.1f}x < {min_speedup:g}x speedup floor"
+            )
+            print(f"FAIL {line}")
+        else:
+            print(f"OK   {line}")
+    return failures
 
 
 def compare(
@@ -147,22 +205,50 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default=1.5,
         help="warn when fresh/baseline throughput exceeds this ratio",
     )
+    parser.add_argument(
+        "--min-batched-speedup",
+        type=float,
+        default=5.0,
+        help="required batched-engine speedup_vs_scalar (0 disables)",
+    )
     args = parser.parse_args(list(argv) if argv is not None else None)
     if not 0 < args.fail_below <= 1:
         sys.exit(f"error: --fail-below must be in (0, 1], got {args.fail_below}")
     if args.warn_above < 1:
         sys.exit(f"error: --warn-above must be >= 1, got {args.warn_above}")
+    if args.min_batched_speedup < 0:
+        sys.exit(
+            "error: --min-batched-speedup must be >= 0, "
+            f"got {args.min_batched_speedup}"
+        )
 
-    baseline = throughputs(load_artifact(args.baseline))
-    fresh = throughputs(load_artifact(args.fresh))
+    baseline_payload = load_artifact(args.baseline)
+    fresh_payload = load_artifact(args.fresh)
+    baseline = throughputs(baseline_payload)
+    fresh = throughputs(fresh_payload)
     if not baseline:
         sys.exit(f"error: {args.baseline} contains no usable throughput entries")
 
     failures = compare(baseline, fresh, args.fail_below, args.warn_above)
+
+    # The batched section gates like the scalar one (a batched protocol
+    # vanishing from the fresh artifact is a lost-coverage failure) …
+    baseline_batched = batched_stats(baseline_payload)
+    fresh_batched = batched_stats(fresh_payload)
+    failures += compare(
+        {f"batched/{name}": row["events_per_second"] for name, row in baseline_batched.items()},
+        {f"batched/{name}": row["events_per_second"] for name, row in fresh_batched.items()},
+        args.fail_below,
+        args.warn_above,
+    )
+    # … plus the absolute speedup floor on the fresh measurements.
+    failures += check_batched_speedups(fresh_batched, args.min_batched_speedup)
+
     if failures:
         print(f"bench gate: {len(failures)} regression(s) vs {args.baseline}")
         return 1
-    print(f"bench gate: all {len(baseline)} protocol(s) within bounds")
+    gated = len(baseline) + len(set(baseline_batched) | set(fresh_batched))
+    print(f"bench gate: all {gated} gated entries within bounds")
     return 0
 
 
