@@ -46,8 +46,9 @@ PROTOCOL_PARAMS = {
 HORIZON = 600.0
 REPLICATIONS = 6
 
-#: Protocols with an array-batched kernel (see repro.simulation.batched).
-BATCHED_PROTOCOLS = ("lmac", "xmac")
+#: Protocols with an array-batched kernel (see repro.simulation.batched) —
+#: since the engine-completion PR, all four of them.
+BATCHED_PROTOCOLS = ("dmac", "lmac", "scpmac", "xmac")
 
 ARTIFACT = Path("BENCH_simulator.json")
 
@@ -160,6 +161,9 @@ def test_simulator_throughput_and_parallel_replications(benchmark):
         for config, scalar_result, batched_result in zip(
             configs, scalar_results, batched_results
         ):
+            assert batched_result.engine == "batched", (
+                f"{name} fell back to the scalar driver"
+            )
             assert batched_result.as_dict() == scalar_result.as_dict(), (
                 f"batched {name} diverged from scalar at seed {config.seed}"
             )

@@ -10,25 +10,31 @@ proven **bit-identical** to the scalar engine by a differential test
 harness (``tests/simulation/test_batched_differential.py``).
 
 Entry point: :func:`simulate_protocol_batched` runs R independently seeded
-replications of one protocol configuration.  Behaviours that declare
-``supports_batch`` and have a registered batch kernel (X-MAC and LMAC) run
-on the fast path; everything else transparently falls back to the scalar
-driver per replication, so all four protocols work with
-``engine='batched'`` from day one.
+replications of one protocol configuration.  All four built-in behaviours
+(X-MAC, LMAC, DMAC, SCP-MAC) have registered batch kernels and run on the
+fast path; user-registered behaviours without a kernel transparently fall
+back to the scalar driver per replication — or raise, when the config sets
+``strict=True`` — and can opt in via :func:`register_batch_kernel`.
 """
 
 from repro.simulation.batched.engine import simulate_protocol_batched
 from repro.simulation.batched.kernels import (
     BatchKernel,
+    DMACBatchKernel,
     LMACBatchKernel,
+    SCPMACBatchKernel,
     XMACBatchKernel,
     batch_kernel_for,
+    register_batch_kernel,
 )
 
 __all__ = [
     "BatchKernel",
+    "DMACBatchKernel",
     "LMACBatchKernel",
+    "SCPMACBatchKernel",
     "XMACBatchKernel",
     "batch_kernel_for",
+    "register_batch_kernel",
     "simulate_protocol_batched",
 ]

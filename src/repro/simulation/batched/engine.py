@@ -50,6 +50,7 @@ class ReplicationState:
     Attributes:
         rng: The replication's generator (same seed as the scalar run).
         phases: Per-node phase offsets, indexed by node position.
+        rings: Per-node ring index (hop distance from the sink).
         busy_until: Per-node medium reservation end (the scalar Channel).
         rx: Per-node accumulated RX seconds.
         tx: Per-node accumulated TX seconds.
@@ -64,6 +65,7 @@ class ReplicationState:
     __slots__ = (
         "rng",
         "phases",
+        "rings",
         "busy_until",
         "rx",
         "tx",
@@ -77,12 +79,14 @@ class ReplicationState:
         self,
         rng: np.random.Generator,
         phases: List[float],
+        rings: List[int],
         interference: List[Tuple[int, ...]],
         overhearers: List[Tuple[int, ...]],
     ) -> None:
         count = len(phases)
         self.rng = rng
         self.phases = phases
+        self.rings = rings
         self.busy_until = [0.0] * count
         self.rx = [0.0] * count
         self.tx = [0.0] * count
@@ -117,9 +121,10 @@ def _run_replication(
     is_sink = [
         parent is None and ring == 0 for parent, ring in zip(raw_parents, rings)
     ]
-    # Scalar draw order: every node's phase (sink included), then one
-    # traffic offset per non-sink node — both as single vectorized draws.
-    phases = kernel.assign_phases(rng, count)
+    # Scalar draw order: behaviour-construction draws first (SCP-MAC's
+    # network phase), then every node's phase (sink included), then one
+    # traffic offset per non-sink node — all as single vectorized draws.
+    phases = kernel.assign_phases(rng, count, rings, is_sink)
 
     parent_ix: List[int] = []
     interference: List[Tuple[int, ...]] = []
@@ -159,7 +164,7 @@ def _run_replication(
             time += period
     heapify(heap)
 
-    state = ReplicationState(rng, phases, interference, overhearers)
+    state = ReplicationState(rng, phases, rings, interference, overhearers)
     plan = kernel.make_hop_planner(state)
     queues: List[deque] = [deque() for _ in range(count)]
     busy = [False] * count
@@ -275,6 +280,7 @@ def _run_replication(
         channel_transmissions=state.transmissions,
         channel_deferrals=state.deferrals,
         processed_events=processed,
+        engine="batched",
     )
 
 
@@ -286,9 +292,11 @@ def simulate_protocol_batched(
     """Simulate R independently seeded replications of one configuration.
 
     Behaviours with a registered batch kernel run on the flat array engine;
-    everything else falls back to the scalar driver per replication.  Either
-    way each result is bit-identical to
-    ``simulate_protocol(model, params, config)`` at the same config.
+    everything else falls back to the scalar driver per replication — unless
+    a config sets ``strict=True``, in which case the fallback raises so
+    callers can assert a protocol really ran batched.  Either way each
+    result is bit-identical to ``simulate_protocol(model, params, config)``
+    at the same config.
 
     Args:
         model: Analytical protocol model (defines scenario and timing).
@@ -300,9 +308,10 @@ def simulate_protocol_batched(
         One :class:`SimulationResult` per config, in input order.
 
     Raises:
-        SimulationError: if ``configs`` is empty, or on the scalar driver's
-            error conditions (no registered behaviour, runaway event
-            budget, unroutable node).
+        SimulationError: if ``configs`` is empty, if a strict config would
+            fall back to the scalar driver, or on the scalar driver's error
+            conditions (no registered behaviour, runaway event budget,
+            unroutable node).
     """
     configs = list(configs)
     if not configs:
@@ -311,6 +320,13 @@ def simulate_protocol_batched(
         )
     kernel_class = batch_kernel_for(model)
     if kernel_class is None:
+        if any(config.strict for config in configs):
+            raise SimulationError(
+                f"strict batched run requested but no batch kernel is "
+                f"registered for {type(model).__name__}; register one via "
+                f"register_batch_kernel or drop strict=True to allow the "
+                f"scalar fallback"
+            )
         return [_SimulationRun(model, params, config).run() for config in configs]
     return [
         _run_replication(model, params, config, kernel_class) for config in configs

@@ -30,17 +30,21 @@ silently batching with the parent's arithmetic.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Tuple, Type
+from typing import Dict, List, Optional, Sequence, Tuple, Type
 
 import numpy as np
 
 from repro.exceptions import SimulationError
 from repro.protocols.base import DutyCycledMACModel, ParameterVector
+from repro.protocols.dmac import DMACModel
 from repro.protocols.lmac import LMACModel
+from repro.protocols.scpmac import SCPMACModel
 from repro.protocols.xmac import XMACModel
 from repro.simulation.mac.base import DutyCycleKernel
+from repro.simulation.mac.dmac import DMACSimBehaviour
 from repro.simulation.mac.factory import behaviour_class_for
 from repro.simulation.mac.lmac import LMACSimBehaviour
+from repro.simulation.mac.scpmac import CONTENTION_SLOTS, SCPMACSimBehaviour
 from repro.simulation.mac.xmac import XMACSimBehaviour
 
 #: Block size of buffered backoff draws.  Drawing ``uniform(0, s, size=k)``
@@ -86,8 +90,22 @@ class BatchKernel:
     # Protocol-specific pieces
     # ------------------------------------------------------------------ #
 
-    def assign_phases(self, rng: np.random.Generator, count: int) -> List[float]:
-        """Phase offsets for ``count`` nodes, one vectorized draw."""
+    def assign_phases(
+        self,
+        rng: np.random.Generator,
+        count: int,
+        rings: Sequence[int],
+        is_sink: Sequence[bool],
+    ) -> List[float]:
+        """Phase offsets for ``count`` nodes, consuming the scalar draws.
+
+        ``rings`` and ``is_sink`` carry the deployment structure for
+        behaviours whose schedule is deterministic per ring (DMAC's
+        staggered ladder draws nothing); random-phase behaviours ignore
+        them and reproduce the scalar RNG consumption exactly (element
+        ``i`` bit-identical to the ``i``-th scalar draw, generator left in
+        the same stream position).
+        """
         raise NotImplementedError
 
     def periodic_table(self) -> Tuple[Tuple[bool, float, float, int], ...]:
@@ -138,7 +156,14 @@ class XMACBatchKernel(BatchKernel):
         if self._wakeup <= 0:
             raise SimulationError(f"period must be positive, got {self._wakeup!r}")
 
-    def assign_phases(self, rng: np.random.Generator, count: int) -> List[float]:
+    def assign_phases(
+        self,
+        rng: np.random.Generator,
+        count: int,
+        rings: Sequence[int],
+        is_sink: Sequence[bool],
+    ) -> List[float]:
+        del rings, is_sink  # each node polls on its own random schedule
         draws = rng.uniform(0.0, self._wakeup, size=count)
         return [float(value) for value in draws]
 
@@ -247,7 +272,14 @@ class LMACBatchKernel(BatchKernel):
         if self._frame <= 0:
             raise SimulationError(f"period must be positive, got {self._frame!r}")
 
-    def assign_phases(self, rng: np.random.Generator, count: int) -> List[float]:
+    def assign_phases(
+        self,
+        rng: np.random.Generator,
+        count: int,
+        rings: Sequence[int],
+        is_sink: Sequence[bool],
+    ) -> List[float]:
+        del rings, is_sink  # each node owns a uniformly random slot
         draws = rng.integers(0, self._slot_count, size=count)
         return [int(value) * self._slot_length for value in draws]
 
@@ -309,11 +341,256 @@ class LMACBatchKernel(BatchKernel):
         return plan
 
 
+class DMACBatchKernel(BatchKernel):
+    """Array-engine twin of :class:`DMACSimBehaviour`."""
+
+    name = "DMAC"
+
+    def __init__(self, model: DutyCycledMACModel, params: ParameterVector) -> None:
+        super().__init__(model, params)
+        if not isinstance(model, DMACModel):
+            raise TypeError("DMACBatchKernel requires a DMACModel")
+        self._frame = self._params[DMACModel.FRAME_LENGTH]
+        self._slot = model.slot_time
+        self._contention = model._contention_window  # noqa: SLF001 - same package family
+        self._depth = self._scenario.depth
+        if self._frame <= 0:
+            raise SimulationError(f"period must be positive, got {self._frame!r}")
+
+    def assign_phases(
+        self,
+        rng: np.random.Generator,
+        count: int,
+        rings: Sequence[int],
+        is_sink: Sequence[bool],
+    ) -> List[float]:
+        del rng, count  # the staggered schedule is deterministic: no draws
+        return [
+            0.0 if sink else (self._depth - ring) * self._slot
+            for ring, sink in zip(rings, is_sink)
+        ]
+
+    def periodic_table(self) -> Tuple[Tuple[bool, float, float, int], ...]:
+        return ((False, self._frame, self._slot, 2),)
+
+    def make_hop_planner(self, state):
+        frame = self._frame
+        slot = self._slot
+        exchange = self._exchange
+        data = self._data
+        ack = self._ack
+        # contention_delay(window) = 0.5 * window + backoff(0.5 * window);
+        # backoff draws only when its scale is positive.
+        half_window = 0.5 * self._contention
+        draw_backoff = half_window > 0
+        phases = state.phases
+        rings = state.rings
+        busy_until = state.busy_until
+        rx = state.rx
+        tx = state.tx
+        interference = state.interference
+        overhearers = state.overhearers
+        rng = state.rng
+        ceil = math.ceil
+        buffer: List[float] = []
+        cursor = 0
+
+        def plan(sender: int, receiver: int, now: float) -> float:
+            nonlocal buffer, cursor
+            # next_occurrence(now, frame, sender.phase)
+            phase = phases[sender]
+            if now <= phase:
+                slot_start = phase
+            else:
+                slot_start = phase + ceil((now - phase) / frame - 1e-12) * frame
+            # The contention draw happens before the channel check, exactly
+            # like the scalar acquire_grant.
+            if draw_backoff:
+                if cursor >= len(buffer):
+                    buffer = rng.uniform(
+                        0.0, half_window, size=BACKOFF_BLOCK
+                    ).tolist()
+                    cursor = 0
+                contention = half_window + buffer[cursor]
+                cursor += 1
+            else:
+                contention = half_window
+            airtime = exchange
+            # channel.free_at(sender, slot_start)
+            free = busy_until[sender]
+            if free > slot_start:
+                state.deferrals += 1
+                start = free
+            else:
+                start = slot_start
+            if start + contention + airtime > slot_start + slot:
+                # Slot overflow: retry in the next frame's transmit slot (a
+                # second free_at, so possibly a second deferral).
+                shifted = slot_start + slot
+                if shifted <= phase:
+                    slot_start = phase
+                else:
+                    slot_start = phase + ceil((shifted - phase) / frame - 1e-12) * frame
+                free = busy_until[sender]
+                if free > slot_start:
+                    state.deferrals += 1
+                else:
+                    free = slot_start
+                start = max(slot_start, free)
+            transmission_start = start + contention
+            completion = transmission_start + airtime
+            # channel.reserve(sender, transmission_start, airtime)
+            state.transmissions += 1
+            end = transmission_start + airtime
+            for member in interference[sender]:
+                if end > busy_until[member]:
+                    busy_until[member] = end
+            # Sender: contention listen, data, ack.
+            rx[sender] += contention
+            tx[sender] += data
+            rx[sender] += ack
+            # Receiver is awake in its slot anyway: only the ack is extra.
+            tx[receiver] += ack
+            # Same-ring neighbours awake in the overlapping slot overhear.
+            sender_ring = rings[sender]
+            for neighbour in overhearers[sender]:
+                if rings[neighbour] == sender_ring:
+                    rx[neighbour] += data
+            return completion
+
+        return plan
+
+
+class SCPMACBatchKernel(BatchKernel):
+    """Array-engine twin of :class:`SCPMACSimBehaviour`."""
+
+    name = "SCP-MAC"
+
+    def __init__(self, model: DutyCycledMACModel, params: ParameterVector) -> None:
+        super().__init__(model, params)
+        if not isinstance(model, SCPMACModel):
+            raise TypeError("SCPMACBatchKernel requires an SCPMACModel")
+        self._poll = self._params[SCPMACModel.POLL_INTERVAL]
+        self._tone = 2.0 * model.sync_error
+        self._sync_period = model.sync_period
+        self._sync = self._packets.sync_airtime(self._radio)
+        self._cw = CONTENTION_SLOTS * self._radio.carrier_sense_time
+        self._phase = 0.0
+        if self._poll <= 0:
+            raise SimulationError(f"period must be positive, got {self._poll!r}")
+
+    def assign_phases(
+        self,
+        rng: np.random.Generator,
+        count: int,
+        rings: Sequence[int],
+        is_sink: Sequence[bool],
+    ) -> List[float]:
+        del rings, is_sink
+        # One network-wide phase: a single scalar draw at the same stream
+        # position as the scalar behaviour's __init__ draw (nothing else
+        # touches the generator in between).
+        self._phase = float(rng.uniform(0.0, self._poll))
+        return [self._phase] * count
+
+    def periodic_table(self) -> Tuple[Tuple[bool, float, float, int], ...]:
+        return (
+            (False, self._poll, self._poll_cost, 1),
+            (True, self._sync_period, self._sync, 1),
+            (False, self._sync_period, self._sync, self._scenario.density),
+        )
+
+    def make_hop_planner(self, state):
+        poll = self._poll
+        phase = self._phase
+        tone = self._tone
+        cw = self._cw
+        exchange = self._exchange
+        data = self._data
+        ack = self._ack
+        half_tone = 0.5 * tone
+        draw_backoff = cw > 0
+        busy_until = state.busy_until
+        rx = state.rx
+        tx = state.tx
+        interference = state.interference
+        overhearers = state.overhearers
+        rng = state.rng
+        ceil = math.ceil
+        buffer: List[float] = []
+        cursor = 0
+
+        def plan(sender: int, receiver: int, now: float) -> float:
+            nonlocal buffer, cursor
+            # next_occurrence(now, poll, phase)
+            if now <= phase:
+                epoch = phase
+            else:
+                epoch = phase + ceil((now - phase) / poll - 1e-12) * poll
+            # channel.free_at at each probed epoch: a deferral per busy probe.
+            busy = busy_until[sender]
+            if busy > epoch:
+                state.deferrals += 1
+                free = busy
+            else:
+                free = epoch
+            while free > epoch:
+                # Lost this epoch's contention: walk to the first epoch
+                # after the medium clears (the RETRY transition).
+                if free <= phase:
+                    epoch = phase
+                else:
+                    epoch = phase + ceil((free - phase) / poll - 1e-12) * poll
+                busy = busy_until[sender]
+                if busy > epoch:
+                    state.deferrals += 1
+                    free = busy
+                else:
+                    free = epoch
+            # Second contention phase: backoff between tone and data.
+            if draw_backoff:
+                if cursor >= len(buffer):
+                    buffer = rng.uniform(0.0, cw, size=BACKOFF_BLOCK).tolist()
+                    cursor = 0
+                data_backoff = buffer[cursor]
+                cursor += 1
+            else:
+                data_backoff = 0.0
+            tone_start = epoch
+            data_start = epoch + tone + data_backoff
+            completion = data_start + exchange
+            airtime = completion - tone_start
+            # channel.reserve(sender, tone_start, airtime)
+            state.transmissions += 1
+            end = tone_start + airtime
+            for member in interference[sender]:
+                if end > busy_until[member]:
+                    busy_until[member] = end
+            # Sender: both contention windows, the tone, data, ack.
+            rx[sender] += cw + data_backoff
+            tx[sender] += tone
+            tx[sender] += data
+            rx[sender] += ack
+            # Receiver: half the tone on average plus the second contention
+            # window, then the data/ack exchange.
+            rx[receiver] += half_tone + data_backoff
+            rx[receiver] += data
+            tx[receiver] += ack
+            # Every synchronized neighbour samples half the tone.
+            for neighbour in overhearers[sender]:
+                rx[neighbour] += half_tone
+            return completion
+
+        return plan
+
+
 #: Exact behaviour class → batch kernel.  Intentionally not keyed by
 #: ``isinstance``: see the module docstring on subclass fallback.
 _KERNELS: Dict[Type[DutyCycleKernel], Type[BatchKernel]] = {
     XMACSimBehaviour: XMACBatchKernel,
     LMACSimBehaviour: LMACBatchKernel,
+    DMACSimBehaviour: DMACBatchKernel,
+    SCPMACSimBehaviour: SCPMACBatchKernel,
 }
 
 

@@ -48,6 +48,10 @@ class SimulationConfig:
             (the array engine of :mod:`repro.simulation.batched`).  The two
             produce bit-identical results; the knob only trades Python
             dispatch for array bookkeeping.
+        strict: Only meaningful with ``engine="batched"``: raise instead of
+            silently falling back to the scalar driver when the behaviour
+            has no registered batch kernel, so callers can assert a
+            protocol really ran batched.
     """
 
     horizon: float = 2000.0
@@ -57,6 +61,7 @@ class SimulationConfig:
     queue_capacity: int = 64
     max_events: int = 2_000_000
     engine: str = "scalar"
+    strict: bool = False
 
     def __post_init__(self) -> None:
         if self.horizon <= 0:
@@ -69,6 +74,11 @@ class SimulationConfig:
             raise SimulationError(
                 f"unknown simulation engine {self.engine!r}; "
                 f"choose from {', '.join(SIM_ENGINES)}"
+            )
+        if self.strict and self.engine != "batched":
+            raise SimulationError(
+                'strict=True requires engine="batched"; the scalar driver '
+                "has nothing to fall back from"
             )
 
 
@@ -90,6 +100,10 @@ class SimulationResult:
         channel_deferrals: Number of carrier-sense deferrals.
         processed_events: Number of discrete events the engine processed
             (used by ``benchmarks/bench_simulator.py`` for events/second).
+        engine: Provenance: which driver actually produced this result
+            (``"scalar"`` or ``"batched"``).  Excluded from :meth:`as_dict`
+            on purpose — the two engines are bit-identical, so reports and
+            artifacts must not differ by engine.
     """
 
     protocol: str
@@ -104,6 +118,7 @@ class SimulationResult:
     channel_transmissions: int = 0
     channel_deferrals: int = 0
     processed_events: int = 0
+    engine: str = "scalar"
 
     # ------------------------------------------------------------------ #
     # Aggregates mirrored on the analytical model

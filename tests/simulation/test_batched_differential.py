@@ -6,23 +6,31 @@ per-node power, per-ring delay lists, packet and channel counters — must
 match the scalar driver bit for bit at the same seed.  This module enforces
 that three ways:
 
-* a seeded fuzzer sweeps ~200 random (scenario, protocol, seed, horizon,
-  sampling period) tuples derived from the preset library — the first
-  :data:`FAST_CASES` run in tier-1, the full sweep is marked ``slow``;
+* a seeded fuzzer sweeps the **full matrix** — every preset × every
+  protocol (xmac, lmac, dmac, scpmac) × fuzzed (seed, horizon, sampling
+  period) — as ~200 cases; the first :data:`FAST_CASES` run in tier-1
+  (covering all four protocols), the full sweep is marked ``slow``;
 * a campaign identity test proves whole campaign artifacts (JSON bytes
   included) are independent of ``sim_engine``;
 * edge cases both engines must agree on: horizons shorter than one duty
-  cycle, single replications, R=0, fallback protocols, invalid engines.
+  cycle, single replications, R=0, kernel-less fallback, invalid engines.
 
+Every batched run uses ``strict=True`` and asserts engine provenance, so a
+silent scalar fallback cannot masquerade as a passing differential case.
 Floats are compared with ``==`` (bit-equality for the NaN-free quantities
 the simulator produces); mismatches are reported in ``float.hex`` so a
-one-ulp drift is visible in the failure message.
+one-ulp drift is visible in the failure message, together with the exact
+``(preset, protocol, seed, horizon, period)`` tuple and a one-line repro
+command.  Failing tuples are also appended to
+:data:`FAILURE_LOG` (``differential-failures.txt``) so CI can upload them
+as an artifact.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import json
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -37,6 +45,8 @@ from repro.simulation import (
     simulate_protocol,
     simulate_protocol_batched,
 )
+from repro.simulation.batched import kernels
+from repro.simulation.mac.xmac import XMACSimBehaviour
 from repro.validation.campaign import CampaignSpec, run_campaign
 
 #: Mid-box parameter vectors, one per protocol (the bench's choices).
@@ -100,33 +110,50 @@ def _traffic_scenario(preset_name: str, period: float) -> Scenario:
     return dataclasses.replace(preset.scenario, sampling_rate=1.0 / period)
 
 
-def _generate_cases(count: int):
-    """Deterministic fuzz tuples; the module-level seed pins the sweep."""
+#: Rounds of the full matrix: every preset × every protocol per round, with
+#: fuzzed seeds/horizons/periods.  8 presets × 4 protocols × 6 rounds = 192
+#: cases.
+MATRIX_ROUNDS = 6
+
+#: Where failing repro tuples are appended (one JSON object per line); CI
+#: uploads this file as an artifact when the sweep fails.
+FAILURE_LOG = Path("differential-failures.txt")
+
+
+def _generate_cases():
+    """The deterministic full-matrix sweep; the module-level seed pins it.
+
+    Cases are ordered preset-major / protocol-minor within each round, so
+    the tier-1 prefix (:data:`FAST_CASES`) already covers all four
+    protocols across several presets.
+    """
     preset_names = sorted(preset.name for preset in scenario_presets())
     rng = np.random.default_rng(202608)
     cases = []
-    for index in range(count):
-        preset = preset_names[int(rng.integers(len(preset_names)))]
-        protocol = PROTOCOLS[int(rng.integers(len(PROTOCOLS)))]
-        seed = int(rng.integers(0, 2**31))
-        horizon = float(rng.choice((60.0, 90.0, 150.0, 240.0)))
-        period = float(rng.choice((30.0, 60.0, 120.0)))
-        cases.append(
-            pytest.param(
-                preset,
-                protocol,
-                seed,
-                horizon,
-                period,
-                id=f"{index:03d}-{preset}-{protocol}-s{seed}",
-            )
-        )
+    index = 0
+    for _ in range(MATRIX_ROUNDS):
+        for preset in preset_names:
+            for protocol in PROTOCOLS:
+                seed = int(rng.integers(0, 2**31))
+                horizon = float(rng.choice((60.0, 90.0, 150.0, 240.0)))
+                period = float(rng.choice((30.0, 60.0, 120.0)))
+                cases.append(
+                    pytest.param(
+                        preset,
+                        protocol,
+                        seed,
+                        horizon,
+                        period,
+                        id=f"{index:03d}-{preset}-{protocol}-s{seed}",
+                    )
+                )
+                index += 1
     return cases
 
 
-CASES = _generate_cases(200)
+CASES = _generate_cases()
 #: Tier-1 subset: enough to catch a broken invariant on every push without
-#: paying for the full sweep.
+#: paying for the full sweep; covers all four protocols (matrix order).
 FAST_CASES = CASES[:20]
 
 
@@ -138,9 +165,39 @@ def _run_both(preset, protocol, seed, horizon, period):
         model, params, SimulationConfig(horizon=horizon, seed=seed)
     )
     batched = simulate_protocol(
-        model, params, SimulationConfig(horizon=horizon, seed=seed, engine="batched")
+        model,
+        params,
+        SimulationConfig(horizon=horizon, seed=seed, engine="batched", strict=True),
     )
     return scalar, batched
+
+
+def _check_case(preset, protocol, seed, horizon, period):
+    """Run one matrix case; on failure, log the repro tuple and command."""
+    case = {
+        "preset": preset,
+        "protocol": protocol,
+        "seed": seed,
+        "horizon": horizon,
+        "period": period,
+    }
+    repro = (
+        "PYTHONPATH=src python -m pytest "
+        "tests/simulation/test_batched_differential.py "
+        f"-m '' -k '{preset}-{protocol}-s{seed}'"
+    )
+    context = f"case {case!r}\n  repro: {repro}"
+    try:
+        scalar, batched = _run_both(preset, protocol, seed, horizon, period)
+        # Provenance: strict mode already forbids the silent scalar
+        # fallback, the field proves the fast path actually produced this.
+        assert batched.engine == "batched", f"{context}: ran on {batched.engine!r}"
+        assert scalar.engine == "scalar", f"{context}: ran on {scalar.engine!r}"
+        assert_bit_identical(scalar, batched, context=context)
+    except AssertionError:
+        with FAILURE_LOG.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(case, sort_keys=True) + "\n")
+        raise
 
 
 class TestFuzzedIdentityFast:
@@ -148,22 +205,20 @@ class TestFuzzedIdentityFast:
 
     @pytest.mark.parametrize("preset,protocol,seed,horizon,period", FAST_CASES)
     def test_bit_identical(self, preset, protocol, seed, horizon, period):
-        scalar, batched = _run_both(preset, protocol, seed, horizon, period)
-        assert_bit_identical(
-            scalar, batched, context=f"{preset}/{protocol}/seed={seed}"
-        )
+        _check_case(preset, protocol, seed, horizon, period)
+
+    def test_fast_subset_covers_every_protocol(self):
+        covered = {case.values[1] for case in FAST_CASES}
+        assert covered == set(PROTOCOLS)
 
 
 @pytest.mark.slow
 class TestFuzzedIdentityFull:
-    """The full ~200-case sweep (deselected by default; ``-m slow`` runs it)."""
+    """The full matrix sweep (deselected by default; ``-m slow`` runs it)."""
 
     @pytest.mark.parametrize("preset,protocol,seed,horizon,period", CASES[len(FAST_CASES):])
     def test_bit_identical(self, preset, protocol, seed, horizon, period):
-        scalar, batched = _run_both(preset, protocol, seed, horizon, period)
-        assert_bit_identical(
-            scalar, batched, context=f"{preset}/{protocol}/seed={seed}"
-        )
+        _check_case(preset, protocol, seed, horizon, period)
 
 
 class TestCampaignIdentity:
@@ -173,7 +228,7 @@ class TestCampaignIdentity:
     def _spec(engine: str) -> CampaignSpec:
         return CampaignSpec(
             scenarios=("high-rate",),
-            protocols=("xmac", "lmac"),
+            protocols=PROTOCOLS,
             replications=2,
             horizon=200.0,
             grid_points_per_dimension=12,
@@ -245,10 +300,10 @@ class TestEdgeCases:
         with pytest.raises(SimulationError, match="unknown simulation engine"):
             SimulationConfig(engine="vectorized")
 
-    @pytest.mark.parametrize("protocol", ("dmac", "scpmac"))
-    def test_fallback_protocols_match_scalar(self, protocol):
-        # DMAC/SCP-MAC have no batch kernel yet; engine='batched' must
-        # transparently produce the scalar result.
+    @pytest.mark.parametrize("protocol", PROTOCOLS)
+    def test_no_protocol_falls_back(self, protocol):
+        # All four built-in protocols have batch kernels: strict mode must
+        # succeed and the result must carry batched provenance.
         scenario = Scenario(RingTopology(depth=3, density=4), sampling_rate=1.0 / 60.0)
         model = create_protocol(protocol, scenario)
         params = PROTOCOL_PARAMS[protocol]
@@ -256,9 +311,38 @@ class TestEdgeCases:
             model, params, SimulationConfig(horizon=300.0, seed=9)
         )
         batched = simulate_protocol(
+            model,
+            params,
+            SimulationConfig(horizon=300.0, seed=9, engine="batched", strict=True),
+        )
+        assert batched.engine == "batched"
+        assert_bit_identical(scalar, batched, context=f"strict-{protocol}")
+
+    def test_kernel_less_behaviour_falls_back_transparently(self, monkeypatch):
+        # Unregister X-MAC's kernel to simulate a user-registered behaviour
+        # without one: non-strict configs silently get the scalar result.
+        monkeypatch.delitem(kernels._KERNELS, XMACSimBehaviour)
+        model = self._model()
+        params = PROTOCOL_PARAMS["xmac"]
+        scalar = simulate_protocol(
+            model, params, SimulationConfig(horizon=300.0, seed=9)
+        )
+        batched = simulate_protocol(
             model, params, SimulationConfig(horizon=300.0, seed=9, engine="batched")
         )
-        assert_bit_identical(scalar, batched, context=f"fallback-{protocol}")
+        assert batched.engine == "scalar"
+        assert_bit_identical(scalar, batched, context="fallback-xmac")
+
+    def test_strict_refuses_kernel_less_fallback(self, monkeypatch):
+        monkeypatch.delitem(kernels._KERNELS, XMACSimBehaviour)
+        model = self._model()
+        config = SimulationConfig(horizon=300.0, seed=9, engine="batched", strict=True)
+        with pytest.raises(SimulationError, match="no batch kernel"):
+            simulate_protocol(model, PROTOCOL_PARAMS["xmac"], config)
+
+    def test_strict_requires_batched_engine(self):
+        with pytest.raises(SimulationError, match="strict"):
+            SimulationConfig(engine="scalar", strict=True)
 
     def test_replications_vary_only_by_seed(self):
         # The batched entry point accepts heterogeneous configs; each one is

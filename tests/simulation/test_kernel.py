@@ -106,17 +106,32 @@ GOLDEN_TRACES = {
 }
 
 #: Both engines must reproduce the goldens: the batched engine dispatches
-#: X-MAC/LMAC to array kernels and falls back to the scalar driver for the
-#: rest — either way the trace is the same trace.
+#: all four protocols to array kernels — the trace is the same trace.
 ENGINES = ("scalar", "batched")
 
 
 # Pinned edge-path traces (captured from the scalar engine at the settings
 # below): a contended SCP-MAC run whose lost epochs retry at the next poll
 # (193 deferrals), a contended X-MAC run whose collisions resolve by
-# backoff-deferral (108 deferrals), each at sampling_rate=1/20, horizon=300,
-# seed=7 on the depth-3/density-4 ring.
+# backoff-deferral (108 deferrals), and a contended DMAC run whose
+# exchanges overflow the transmit slot and retry next frame (191
+# deferrals), each at sampling_rate=1/20, horizon=300, seed=7 on the
+# depth-3/density-4 ring.
 GOLDEN_EDGE_TRACES = {
+    "dmac-slot-overflow": {
+        "protocol": "dmac",
+        "params": {"frame_length": 1.0},
+        "system_energy": "0x1.3ddc38a384a2dp-10",
+        "bottleneck_ring_energy": "0x1.3d4bf300ac1dap-10",
+        "max_ring_delay": "0x1.17e77836f1104p+0",
+        "counters": (486, 486, 1189, 191),
+        "node_power": {
+            1: "0x1.3c5eba840d786p-10",
+            2: "0x1.3d3fade43b0ecp-10",
+            3: "0x1.3db52af6e34c9p-10",
+            36: "0x1.1a8e20b1c938ap-10",
+        },
+    },
     "scpmac-lost-epoch": {
         "protocol": "scpmac",
         "params": {"poll_interval": 0.5},
@@ -153,6 +168,7 @@ GOLDEN_EDGE_TRACES = {
 # SCP-MAC coincide because both charge one poll per wake-up interval.
 GOLDEN_QUIET_POWERS = {
     "xmac": "0x1.4d81479e5e778p-11",
+    "dmac": "0x1.1441d81bf3413p-10",
     "lmac": "0x1.0f22d02c9a62ep-7",
     "scpmac": "0x1.4d81479e5e778p-11",
 }

@@ -23,9 +23,11 @@ protocols not yet in the baseline are reported but don't gate.
 The artifact's ``batched`` section (the array-batched replication engine)
 is gated the same way, plus an absolute floor: every batched protocol's
 ``speedup_vs_scalar`` must reach ``--min-batched-speedup`` (default 5×,
-``0`` disables).  The speedup is a within-process ratio of the two engines
-over the same seeds, so unlike raw throughput it is stable across runner
-machines.
+``0`` disables).  Repeatable ``--batched-speedup-floor NAME=RATIO`` flags
+override the global floor per protocol (CI starts the freshly batched
+dmac/scpmac kernels at 3×).  The speedup is a within-process ratio of the
+two engines over the same seeds, so unlike raw throughput it is stable
+across runner machines.
 
 Throughput on shared CI runners is noisy, so the failure threshold is
 deliberately loose: it catches "accidentally made the event loop 2× slower"
@@ -110,31 +112,59 @@ def batched_stats(payload: Dict[str, object]) -> Dict[str, Dict[str, float]]:
     return result
 
 
+def parse_speedup_floor(spec: str) -> "tuple[str, float]":
+    """Parse one ``--batched-speedup-floor NAME=RATIO`` argument."""
+    name, separator, value = spec.partition("=")
+    if not separator or not name:
+        raise argparse.ArgumentTypeError(
+            f"expected NAME=RATIO, got {spec!r}"
+        )
+    try:
+        ratio = float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{value!r} is not a number") from None
+    if ratio < 0:
+        raise argparse.ArgumentTypeError(f"floor must be >= 0, got {ratio}")
+    return name, ratio
+
+
 def check_batched_speedups(
-    fresh: Dict[str, Dict[str, float]], min_speedup: float
+    fresh: Dict[str, Dict[str, float]],
+    min_speedup: float,
+    floors: Optional[Dict[str, float]] = None,
 ) -> List[str]:
     """Enforce the absolute batched-vs-scalar speedup floor.
 
     Args:
         fresh: Freshly measured batched stats (:func:`batched_stats`).
         min_speedup: Required ``speedup_vs_scalar``; ``0`` disables.
+        floors: Per-protocol overrides of ``min_speedup`` (a protocol's
+            floor of ``0`` disables the check for it alone).
 
     Returns:
         The list of failure messages (empty when the floor holds).
     """
     failures: List[str] = []
-    if min_speedup <= 0:
-        return failures
+    floors = floors or {}
     for name in sorted(fresh):
+        floor = floors.get(name, min_speedup)
+        if floor <= 0:
+            continue
         speedup = fresh[name]["speedup_vs_scalar"]
-        line = f"batched {name}: {speedup:.1f}x vs scalar (floor {min_speedup:g}x)"
-        if speedup < min_speedup:
+        line = f"batched {name}: {speedup:.1f}x vs scalar (floor {floor:g}x)"
+        if speedup < floor:
             failures.append(
-                f"batched {name}: {speedup:.1f}x < {min_speedup:g}x speedup floor"
+                f"batched {name}: {speedup:.1f}x < {floor:g}x speedup floor"
             )
             print(f"FAIL {line}")
         else:
             print(f"OK   {line}")
+    for name in sorted(set(floors) - set(fresh)):
+        failures.append(
+            f"batched {name}: speedup floor configured but protocol missing "
+            f"from the fresh artifact"
+        )
+        print(f"FAIL batched {name}: floored protocol missing from fresh artifact")
     return failures
 
 
@@ -211,6 +241,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default=5.0,
         help="required batched-engine speedup_vs_scalar (0 disables)",
     )
+    parser.add_argument(
+        "--batched-speedup-floor",
+        type=parse_speedup_floor,
+        action="append",
+        default=[],
+        metavar="NAME=RATIO",
+        help="per-protocol override of --min-batched-speedup (repeatable); "
+        "a floored protocol missing from the fresh artifact fails the gate",
+    )
     args = parser.parse_args(list(argv) if argv is not None else None)
     if not 0 < args.fail_below <= 1:
         sys.exit(f"error: --fail-below must be in (0, 1], got {args.fail_below}")
@@ -242,7 +281,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         args.warn_above,
     )
     # … plus the absolute speedup floor on the fresh measurements.
-    failures += check_batched_speedups(fresh_batched, args.min_batched_speedup)
+    failures += check_batched_speedups(
+        fresh_batched,
+        args.min_batched_speedup,
+        dict(args.batched_speedup_floor),
+    )
 
     if failures:
         print(f"bench gate: {len(failures)} regression(s) vs {args.baseline}")
