@@ -1,0 +1,114 @@
+"""Experiment service benchmark: job latency and warm-hit throughput.
+
+Starts a real service (ThreadingHTTPServer + worker pool on a temporary
+store) and measures the two numbers that matter for the job-server layer
+itself, with the solver cost factored out:
+
+* **cold latency** — wall-clock from ``POST /v1/jobs`` of a small sweep
+  spec to its result bytes being served (includes queue claim, the actual
+  solves, atomic result publish, and the poll loop);
+* **warm-hit throughput** — requests/second of the steady state every
+  repeat client sees: resubmitting the spec (idempotent POST answered
+  from the dedup table) and fetching the stored result bytes.
+
+The bench asserts the service contracts along the way — byte-identity
+with a direct in-process run, one execution despite resubmission, a fully
+warm re-run on a fresh queue — and emits ``BENCH_service.json``
+(``repro.bench.service`` schema v1), which CI gates through
+``tools/check_bench.py --service`` with an absolute warm-rps floor.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from benchmarks.conftest import BENCH_GRID, print_series
+from repro.api import ExperimentSpec, run_experiment, runner_for
+from repro.service import ExperimentService, ServiceClient
+
+ARTIFACT = Path("BENCH_service.json")
+
+#: Submit+fetch pairs of the warm-throughput measurement.
+WARM_CYCLES = 50
+
+
+def _spec() -> ExperimentSpec:
+    return (
+        ExperimentSpec.experiment("sweep", name="bench-service-sweep")
+        .with_scenario("paper-default")
+        .with_protocols("xmac")
+        .with_sweep("max_delay", [2.0, 4.0, 6.0])
+        .with_solver(grid_points=BENCH_GRID)
+    )
+
+
+def test_service_latency_and_warm_throughput(benchmark, tmp_path):
+    spec = _spec()
+    store_dir = tmp_path / "store"
+
+    with ExperimentService(store_dir=store_dir, workers=2) as service:
+        client = ServiceClient(service.url)
+
+        started = time.perf_counter()
+        served = client.run(spec, timeout=600)
+        cold_seconds = time.perf_counter() - started
+
+        direct = run_experiment(spec, runner=runner_for(spec))
+        assert served == direct.json_text().encode("utf-8")
+        job_id = spec.spec_hash()
+
+        def warm_cycles():
+            for _ in range(WARM_CYCLES):
+                _, created = client.submit(spec)
+                assert not created  # dedup: never a second execution
+                assert client.result_bytes(job_id) is not None
+            return client.status(job_id)
+
+        status = benchmark.pedantic(warm_cycles, rounds=1, iterations=1)
+        warm_seconds = benchmark.stats.stats.mean
+        warm_requests = 2 * WARM_CYCLES  # one POST + one GET per cycle
+        warm_rps = warm_requests / warm_seconds
+        assert status["attempts"] == 1  # resubmission never re-ran the job
+
+    # A fresh queue over the same store answers without any fresh solves.
+    with ExperimentService(
+        store_dir=store_dir, queue_dir=tmp_path / "queue-warm", workers=1
+    ) as warm_service:
+        warm_client = ServiceClient(warm_service.url)
+        assert warm_client.run(spec, timeout=600) == served
+        progress = warm_client.status(job_id)["progress"]
+        assert progress["store_misses"] == 0
+        assert progress["store_puts"] == 0
+
+    artifact = {
+        "schema": "repro.bench.service",
+        "schema_version": 1,
+        "grid_points": BENCH_GRID,
+        "units": len(direct.records),
+        "workers": 2,
+        "cold_latency_seconds": round(cold_seconds, 6),
+        "warm_requests": warm_requests,
+        "warm_seconds": round(warm_seconds, 6),
+        "warm_requests_per_second": round(warm_rps, 3),
+    }
+    ARTIFACT.write_text(
+        json.dumps(artifact, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+    print_series(
+        f"experiment service ({len(direct.records)} units, grid={BENCH_GRID})",
+        [
+            {
+                "measure": "cold submit->result",
+                "seconds": f"{cold_seconds:.3f}",
+                "req_per_s": "-",
+            },
+            {
+                "measure": f"warm hits ({warm_requests} requests)",
+                "seconds": f"{warm_seconds:.3f}",
+                "req_per_s": f"{warm_rps:,.0f}",
+            },
+        ],
+    )

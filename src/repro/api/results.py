@@ -170,14 +170,20 @@ class ResultSet:
             "rows": self.rows(),
         }
 
+    def json_text(self) -> str:
+        """The versioned payload as canonical JSON text.
+
+        This is the one serialization of a result: ``to_json`` writes it and
+        the experiment service serves it verbatim, so a spec POSTed to the
+        server returns bytes identical to ``repro run spec.json --out``.
+        """
+        return json.dumps(self.as_dict(), indent=2, sort_keys=True) + "\n"
+
     def to_json(self, path: Union[str, Path]) -> Path:
         """Write the versioned payload to ``path`` and return it."""
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(
-            json.dumps(self.as_dict(), indent=2, sort_keys=True) + "\n",
-            encoding="utf-8",
-        )
+        path.write_text(self.json_text(), encoding="utf-8")
         return path
 
     def to_csv(self, path: Union[str, Path]) -> Path:

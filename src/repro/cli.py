@@ -12,7 +12,8 @@
 * ``validate``  — compare the analytical model against the simulator,
 * ``validate-campaign`` — replicated Monte-Carlo validation over the suite,
 * ``protocols`` — list the available protocol models,
-* ``store``     — maintain persistent result stores (merge/verify/gc/stats).
+* ``store``     — maintain persistent result stores (merge/verify/gc/stats),
+* ``serve``     — run the experiment service (HTTP job server + worker pool).
 
 Workload subcommands accept ``--store DIR`` to back the solve cache with a
 persistent, content-addressed result store: warm runs skip already-solved
@@ -44,6 +45,14 @@ from repro.scenarios import available_scenarios, scenario_presets
 from repro.simulation.mac.factory import available_mac_protocols
 from repro.store import ResultStore, merge_stores
 from repro.validation import write_campaign
+
+#: The CLI's documented exit-code contract.  The experiment service maps
+#: these onto HTTP statuses, so they are pinned by tests — change them and
+#: the service (and anything scripting the CLI) changes with you.
+EXIT_OK = 0  # the command succeeded
+EXIT_CORRUPT = 1  # `store verify` found corrupt records
+EXIT_ERROR = 2  # a ReproError: bad spec/arguments, infeasible solve, ...
+EXIT_NOT_WARM = 3  # `run --require-warm` saw fresh solves
 
 
 def _print_runtime_summary(runner: BatchRunner) -> None:
@@ -169,13 +178,13 @@ def _write_optional_csv(result: ResultSet, path: Optional[str]) -> None:
 def _cmd_protocols(_: argparse.Namespace) -> int:
     for name in available_protocols():
         print(name)
-    return 0
+    return EXIT_OK
 
 
 def _cmd_scenarios(_: argparse.Namespace) -> int:
     rows = [dict(preset.describe()) for preset in scenario_presets()]
     print(format_table(rows))
-    return 0
+    return EXIT_OK
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -200,7 +209,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"# spec{title}: {plan.describe()} — sha256 {spec.spec_hash()[:12]}")
     if args.plan_only:
         print(format_table(plan.rows()))
-        return 0
+        return EXIT_OK
     store = _open_store(args)
     if args.require_warm and store is None:
         raise ConfigurationError(
@@ -232,9 +241,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 f"{result.metadata.get('store_puts', 0)} puts)",
                 file=sys.stderr,
             )
-            return 3
+            return EXIT_NOT_WARM
         print("# --require-warm: satisfied (zero fresh results)")
-    return 0
+    return EXIT_OK
 
 
 def _cmd_solve(args: argparse.Namespace) -> int:
@@ -250,7 +259,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     print(f"# {solution.protocol} — Ebudget={args.energy_budget} J/s, Lmax={args.max_delay} s")
     print(format_table(result.rows()))
     print("# bargaining parameters:", dict(solution.bargaining.point.parameters))
-    return 0
+    return EXIT_OK
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -272,7 +281,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(f"# infeasible values: {sweep.infeasible_values}")
     _print_store_summary(result)
     _print_runtime_summary(runner)
-    return 0
+    return EXIT_OK
 
 
 def _cmd_figure(args: argparse.Namespace, which: int) -> int:
@@ -287,7 +296,7 @@ def _cmd_figure(args: argparse.Namespace, which: int) -> int:
     _write_optional_csv(result, args.csv)
     _print_store_summary(result)
     _print_runtime_summary(runner)
-    return 0
+    return EXIT_OK
 
 
 def _cmd_suite(args: argparse.Namespace) -> int:
@@ -317,7 +326,7 @@ def _cmd_suite(args: argparse.Namespace) -> int:
         print(f"# infeasible pairs: {pairs}")
     _print_store_summary(result)
     _print_runtime_summary(runner)
-    return 0
+    return EXIT_OK
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
@@ -331,7 +340,7 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         spec = spec.with_runtime(sim_engine=args.sim_engine)
     result = run_experiment(spec)
     print(format_table(result.rows()))
-    return 0
+    return EXIT_OK
 
 
 def _cmd_validate_campaign(args: argparse.Namespace) -> int:
@@ -368,7 +377,7 @@ def _cmd_validate_campaign(args: argparse.Namespace) -> int:
         print(f"# cells with failed checks: {pairs}")
     _print_store_summary(result)
     _print_runtime_summary(runner)
-    return 0
+    return EXIT_OK
 
 
 def _cmd_store_merge(args: argparse.Namespace) -> int:
@@ -377,7 +386,7 @@ def _cmd_store_merge(args: argparse.Namespace) -> int:
         f"# merged {report.sources} store(s) into {args.out}: "
         f"{report.written} written, {report.shared} already shared"
     )
-    return 0
+    return EXIT_OK
 
 
 def _cmd_store_verify(args: argparse.Namespace) -> int:
@@ -385,11 +394,11 @@ def _cmd_store_verify(args: argparse.Namespace) -> int:
     report = store.verify()
     if report.ok:
         print(f"# verified {report.checked} record(s): all clean")
-        return 0
+        return EXIT_OK
     for digest, reason in report.corrupt:
         print(f"# corrupt {digest[:12]}…: {reason}")
     print(f"# verified {report.checked} record(s): {len(report.corrupt)} corrupt")
-    return 1
+    return EXIT_CORRUPT
 
 
 def _cmd_store_gc(args: argparse.Namespace) -> int:
@@ -399,16 +408,43 @@ def _cmd_store_gc(args: argparse.Namespace) -> int:
         f"# gc {args.store_dir}: removed {report.tmp_removed} temp file(s), "
         f"{report.corrupt_removed} corrupt record(s)"
     )
-    return 0
+    return EXIT_OK
 
 
 def _cmd_store_stats(args: argparse.Namespace) -> int:
     store = ResultStore(args.store_dir, create=False)
+    stats = store.stats()
     counts = store.counts_by_kind()
-    total = store.record_count()
     parts = ", ".join(f"{kind}: {count}" for kind, count in sorted(counts.items())) or "empty"
-    print(f"# store {args.store_dir}: {total} record(s) ({parts})")
-    return 0
+    print(
+        f"# store {args.store_dir}: {stats.records} record(s) ({parts}), "
+        f"{stats.bytes} bytes"
+    )
+    return EXIT_OK
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import ExperimentService
+
+    service = ExperimentService(
+        store_dir=args.store,
+        queue_dir=args.queue,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+    )
+    service.start()
+    try:
+        print(f"# serving on http://{service.host}:{service.port}/v1/ — "
+              f"{args.workers} worker(s), store {args.store}")
+        if service.queue.requeued:
+            print(f"# journal replay re-queued {service.queue.requeued} job(s)")
+        service.serve_forever()
+    except KeyboardInterrupt:
+        print("# shutting down")
+    finally:
+        service.stop()
+    return EXIT_OK
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -659,6 +695,40 @@ def build_parser() -> argparse.ArgumentParser:
     stats_parser.add_argument("store_dir", help="store directory to inspect")
     stats_parser.set_defaults(handler=_cmd_store_stats)
 
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run the experiment service: an HTTP job server executing "
+        "queued specs on a shared result store",
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    serve_parser.add_argument(
+        "--port",
+        type=int,
+        default=8642,
+        help="bind port (default 8642; 0 picks a free port)",
+    )
+    serve_parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="worker threads draining the job queue (default 2)",
+    )
+    serve_parser.add_argument(
+        "--store",
+        required=True,
+        metavar="DIR",
+        help="persistent result store shared by every job (created if missing)",
+    )
+    serve_parser.add_argument(
+        "--queue",
+        default=None,
+        metavar="DIR",
+        help="job queue directory (journal + results; default: STORE/jobs)",
+    )
+    serve_parser.set_defaults(handler=_cmd_serve)
+
     return parser
 
 
@@ -670,7 +740,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return int(args.handler(args))
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
-        return 2
+        return EXIT_ERROR
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,0 +1,28 @@
+"""The experiment service: the spec API behind an async job server.
+
+A long-running front end over the declarative pipeline: specs POSTed as
+JSON become journaled jobs, a worker pool executes them on the shared
+:class:`~repro.store.ResultStore` via the normal
+``runner_for(spec, store=...)`` path, and results are served byte-identical
+to ``repro run spec.json``.  Start it with ``repro-mac-game serve --store
+DIR``; drive it with :class:`ServiceClient`.  See ``docs/service.md``.
+"""
+
+from repro.service.client import JobFailedError, ServiceClient, ServiceError
+from repro.service.jobs import JOB_STATES, TERMINAL_STATES, Job, JobError, JobQueue
+from repro.service.server import API_PREFIX, ExperimentService
+from repro.service.workers import WorkerPool
+
+__all__ = [
+    "API_PREFIX",
+    "JOB_STATES",
+    "TERMINAL_STATES",
+    "ExperimentService",
+    "Job",
+    "JobError",
+    "JobFailedError",
+    "JobQueue",
+    "ServiceClient",
+    "ServiceError",
+    "WorkerPool",
+]

@@ -1,0 +1,203 @@
+"""Thin stdlib client of the experiment service.
+
+:class:`ServiceClient` wraps the REST API with ``urllib.request`` — no new
+dependencies — and is what the tests, the CI identity check
+(``tools/check_service.py``) and the service benchmark drive the server
+with.  The one composite helper, :meth:`ServiceClient.run`, is
+submit-poll-fetch: POST a spec, wait for the job to finish, return the
+result **bytes** exactly as served (so callers can compare them against a
+``repro run`` artifact without re-serializing).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, Mapping, Optional, Tuple, Union
+
+from repro.api.spec import ExperimentSpec
+from repro.exceptions import ReproError
+
+__all__ = ["ServiceClient", "ServiceError", "JobFailedError"]
+
+
+class ServiceError(ReproError):
+    """The service answered with an error status.
+
+    Attributes:
+        status: The HTTP status code.
+        payload: The decoded JSON error body (``error`` / ``error_kind``),
+            empty when the body was not JSON.
+    """
+
+    def __init__(self, status: int, payload: Mapping[str, object]) -> None:
+        message = str(payload.get("error", "")) or f"HTTP {status}"
+        super().__init__(f"{message} (HTTP {status})")
+        self.status = status
+        self.payload = dict(payload)
+
+
+class JobFailedError(ServiceError):
+    """A polled job ended ``failed`` or ``cancelled``."""
+
+
+class ServiceClient:
+    """Talk to one experiment service.
+
+    Args:
+        base_url: The API root, e.g. ``http://127.0.0.1:8642/v1`` (a
+            trailing slash is tolerated).
+        timeout: Per-request socket timeout in seconds.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------ #
+    # Raw requests
+    # ------------------------------------------------------------------ #
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes] = None,
+    ) -> Tuple[int, bytes]:
+        request = urllib.request.Request(
+            f"{self.base_url}{path}", data=body, method=method
+        )
+        if body is not None:
+            request.add_header("Content-Type", "application/json")
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return response.status, response.read()
+        except urllib.error.HTTPError as error:
+            return error.code, error.read()
+
+    def _json(
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes] = None,
+        ok: Tuple[int, ...] = (200,),
+    ) -> Tuple[int, Dict[str, object]]:
+        status, raw = self._request(method, path, body)
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except ValueError:
+            payload = {}
+        if status not in ok:
+            raise ServiceError(status, payload)
+        return status, payload
+
+    # ------------------------------------------------------------------ #
+    # Endpoints
+    # ------------------------------------------------------------------ #
+
+    def healthz(self) -> Dict[str, object]:
+        """``GET /healthz``."""
+        return self._json("GET", "/healthz")[1]
+
+    def queue(self) -> Dict[str, object]:
+        """``GET /queue``: all jobs, per-state counts, store stats."""
+        return self._json("GET", "/queue")[1]
+
+    def submit(
+        self, spec: Union[ExperimentSpec, Mapping[str, object]]
+    ) -> Tuple[Dict[str, object], bool]:
+        """``POST /jobs``: submit a spec.
+
+        Args:
+            spec: An :class:`ExperimentSpec` or its ``to_dict()`` mapping.
+
+        Returns:
+            ``(job_summary, created)`` — ``created`` is ``False`` when the
+            service already knew the job (idempotent resubmit).
+
+        Raises:
+            ServiceError: on a 400 (malformed body or spec).
+        """
+        if isinstance(spec, ExperimentSpec):
+            spec = spec.to_dict()
+        body = json.dumps(spec, sort_keys=True).encode("utf-8")
+        status, payload = self._json("POST", "/jobs", body, ok=(200, 201))
+        return payload, status == 201
+
+    def status(self, job_id: str) -> Dict[str, object]:
+        """``GET /jobs/{id}``: state, progress counters, store stats."""
+        return self._json("GET", f"/jobs/{job_id}")[1]
+
+    def result_bytes(self, job_id: str) -> Optional[bytes]:
+        """``GET /jobs/{id}/result``.
+
+        Returns:
+            The result bytes when the job is done, ``None`` while it is
+            still queued or running (HTTP 202).
+
+        Raises:
+            JobFailedError: when the job failed or was cancelled (409).
+            ServiceError: on 404/500.
+        """
+        status, raw = self._request("GET", f"/jobs/{job_id}/result")
+        if status == 200:
+            return raw
+        if status == 202:
+            return None
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except ValueError:
+            payload = {}
+        if status == 409:
+            raise JobFailedError(status, payload)
+        raise ServiceError(status, payload)
+
+    def result(self, job_id: str) -> Optional[Dict[str, object]]:
+        """The decoded ResultSet payload, or ``None`` while pending."""
+        raw = self.result_bytes(job_id)
+        return None if raw is None else json.loads(raw.decode("utf-8"))
+
+    def cancel(self, job_id: str) -> Dict[str, object]:
+        """``DELETE /jobs/{id}``: cancel a queued job."""
+        return self._json("DELETE", f"/jobs/{job_id}")[1]
+
+    # ------------------------------------------------------------------ #
+    # Composite
+    # ------------------------------------------------------------------ #
+
+    def wait(
+        self, job_id: str, timeout: float = 300.0, poll_interval: float = 0.05
+    ) -> bytes:
+        """Poll until the job is done and return the result bytes.
+
+        Raises:
+            JobFailedError: when the job failed or was cancelled.
+            TimeoutError: when the deadline passes first.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            raw = self.result_bytes(job_id)
+            if raw is not None:
+                return raw
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} not done within {timeout:.0f}s"
+                )
+            time.sleep(poll_interval)
+
+    def run(
+        self,
+        spec: Union[ExperimentSpec, Mapping[str, object]],
+        timeout: float = 300.0,
+        poll_interval: float = 0.05,
+    ) -> bytes:
+        """Submit a spec and block until its result is served.
+
+        Returns:
+            The result bytes exactly as the server sent them — compare
+            against ``repro run spec.json --out`` output directly.
+        """
+        job, _ = self.submit(spec)
+        return self.wait(str(job["job_id"]), timeout, poll_interval)

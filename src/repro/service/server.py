@@ -1,0 +1,283 @@
+"""The experiment service: a stdlib-only HTTP front end over the job queue.
+
+:class:`ExperimentService` wires the persistent pieces together — one
+shared :class:`~repro.store.ResultStore`, one journaled
+:class:`~repro.service.jobs.JobQueue` (default ``STORE/jobs``), a
+:class:`~repro.service.workers.WorkerPool` — and puts a small REST API in
+front (``http.server.ThreadingHTTPServer``; no new dependencies):
+
+========  ==========================  =============================================
+Method    Path                        Meaning
+========  ==========================  =============================================
+POST      ``/v1/jobs``                submit a spec (201 new, 200 already known)
+GET       ``/v1/jobs/{id}``           job status + progress counters
+GET       ``/v1/jobs/{id}/result``    the ResultSet JSON (200 done, 202 pending,
+                                      409 failed/cancelled)
+DELETE    ``/v1/jobs/{id}``           cancel a queued job
+GET       ``/v1/queue``               every job + per-state counts + store stats
+GET       ``/v1/healthz``             liveness probe
+========  ==========================  =============================================
+
+The result endpoint serves the bytes the worker stored —
+:meth:`ResultSet.json_text() <repro.api.results.ResultSet.json_text>`
+verbatim — so a POSTed spec answers byte-identically to
+``repro run spec.json --out`` on the same store.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
+
+from repro import __version__
+from repro.api.spec import ExperimentSpec
+from repro.exceptions import ReproError
+from repro.service.jobs import JobQueue
+from repro.service.workers import WorkerPool
+from repro.store import ResultStore
+
+__all__ = ["ExperimentService", "API_PREFIX"]
+
+#: Every route of the API lives under this prefix.
+API_PREFIX = "/v1"
+
+_JSON = "application/json"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Request handler; the owning service hangs off ``self.server``."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-service/" + __version__
+
+    # ------------------------------------------------------------------ #
+    # Plumbing
+    # ------------------------------------------------------------------ #
+
+    @property
+    def service(self) -> "ExperimentService":
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if self.service.verbose:
+            BaseHTTPRequestHandler.log_message(self, format, *args)
+
+    def _send(self, status: int, body: bytes, content_type: str = _JSON) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_json(self, status: int, payload: Dict[str, object]) -> None:
+        self._send(status, (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8"))
+
+    def _error(self, status: int, message: str, kind: str = "") -> None:
+        self._send_json(status, {"error": message, "error_kind": kind})
+
+    def _route(self) -> Tuple[str, str]:
+        """``(route, job_id)`` of the request path, with the prefix stripped."""
+        path = self.path.split("?", 1)[0].rstrip("/")
+        if not path.startswith(API_PREFIX):
+            return "", ""
+        parts = [part for part in path[len(API_PREFIX):].split("/") if part]
+        if parts[:1] == ["jobs"] and len(parts) == 2:
+            return "job", parts[1]
+        if parts[:1] == ["jobs"] and len(parts) == 3 and parts[2] == "result":
+            return "result", parts[1]
+        if len(parts) == 1:
+            return parts[0], ""
+        return "", ""
+
+    # ------------------------------------------------------------------ #
+    # Methods
+    # ------------------------------------------------------------------ #
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server naming
+        route, job_id = self._route()
+        if route == "healthz":
+            self._send_json(200, self.service.health())
+        elif route == "queue":
+            self._send_json(200, self.service.queue_snapshot())
+        elif route == "job":
+            self._get_status(job_id)
+        elif route == "result":
+            self._get_result(job_id)
+        else:
+            self._error(404, f"no such route: {self.path}")
+
+    def do_POST(self) -> None:  # noqa: N802
+        route, _ = self._route()
+        if route != "jobs":
+            self._error(404, f"no such route: {self.path}")
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            payload = json.loads(self.rfile.read(length).decode("utf-8"))
+            spec = ExperimentSpec.from_dict(payload)
+        except (ValueError, TypeError) as error:
+            self._error(400, f"request body is not valid JSON: {error}")
+            return
+        except ReproError as error:
+            # The CLI exits EXIT_ERROR (2) on these; the service's analogue
+            # is a 400 naming the exception class.
+            self._error(400, str(error), type(error).__name__)
+            return
+        job, created = self.service.queue.submit(spec)
+        self._send_json(201 if created else 200, job.summary())
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        route, job_id = self._route()
+        if route != "job":
+            self._error(404, f"no such route: {self.path}")
+            return
+        queue = self.service.queue
+        job = queue.get(job_id)
+        if job is None:
+            self._error(404, f"unknown job {job_id}")
+            return
+        try:
+            self._send_json(200, queue.cancel(job_id).summary())
+        except ReproError as error:
+            self._error(409, str(error), type(error).__name__)
+
+    def _get_status(self, job_id: str) -> None:
+        job = self.service.queue.get(job_id)
+        if job is None:
+            self._error(404, f"unknown job {job_id}")
+            return
+        summary = job.summary()
+        summary["store"] = self.service.store_stats()
+        self._send_json(200, summary)
+
+    def _get_result(self, job_id: str) -> None:
+        queue = self.service.queue
+        job = queue.get(job_id)
+        if job is None:
+            self._error(404, f"unknown job {job_id}")
+            return
+        if job.state in ("queued", "running"):
+            self._send_json(202, job.summary())
+            return
+        if job.state in ("failed", "cancelled"):
+            self._error(409, job.error or f"job is {job.state}", job.error_kind)
+            return
+        text = queue.result_text(job_id)
+        if text is None:  # done event journaled but result vanished on disk
+            self._error(500, f"result of done job {job_id} is missing")
+            return
+        self._send(200, text.encode("utf-8"))
+
+
+class ExperimentService:
+    """The assembled service: store + queue + worker pool + HTTP server.
+
+    Args:
+        store_dir: Persistent result store shared by every job (created if
+            missing).  Opened *before* the queue so a fresh directory is a
+            valid store by the time jobs land in it.
+        queue_dir: Queue directory (journal + result files).  Defaults to
+            ``STORE/jobs`` — the record tree under ``records/`` is not
+            touched, so store verify/merge/gc ignore the queue.
+        host: Bind address.
+        port: Bind port; ``0`` picks a free one (see :attr:`port`).
+        workers: Worker threads draining the queue.
+        verbose: Log one line per request to stderr.
+    """
+
+    def __init__(
+        self,
+        store_dir: Union[str, Path],
+        queue_dir: Optional[Union[str, Path]] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 2,
+        verbose: bool = False,
+    ) -> None:
+        self.verbose = verbose
+        self.store = ResultStore(store_dir)
+        self.queue = JobQueue(queue_dir or Path(store_dir) / "jobs")
+        self.pool = WorkerPool(self.queue, store=self.store, workers=workers)
+        self._host = host
+        self._port = port
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def host(self) -> str:
+        """The bound address."""
+        return self._host
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolved after :meth:`start` when 0 was asked)."""
+        return self._port
+
+    @property
+    def url(self) -> str:
+        """Base URL of the API, e.g. ``http://127.0.0.1:8642/v1``."""
+        return f"http://{self._host}:{self._port}{API_PREFIX}"
+
+    def health(self) -> Dict[str, object]:
+        """The liveness payload of ``GET /v1/healthz``."""
+        return {
+            "status": "ok",
+            "version": __version__,
+            "workers": self.pool._count,
+            "jobs": self.queue.counts(),
+        }
+
+    def store_stats(self) -> Dict[str, int]:
+        """Shared-store counters, straight from :meth:`ResultStore.stats`."""
+        return self.store.stats().as_dict()
+
+    def queue_snapshot(self) -> Dict[str, object]:
+        """The payload of ``GET /v1/queue``."""
+        return {
+            "counts": self.queue.counts(),
+            "jobs": [job.summary() for job in self.queue.jobs()],
+            "store": self.store_stats(),
+        }
+
+    def start(self) -> None:
+        """Bind the socket and start the worker pool + serving thread."""
+        if self._httpd is not None:
+            return
+        httpd = ThreadingHTTPServer((self._host, self._port), _Handler)
+        httpd.daemon_threads = True
+        httpd.service = self  # type: ignore[attr-defined]
+        self._httpd = httpd
+        self._host, self._port = httpd.server_address[0], httpd.server_address[1]
+        self.pool.start()
+        self._thread = threading.Thread(
+            target=httpd.serve_forever, name="repro-service-http", daemon=True
+        )
+        self._thread.start()
+
+    def serve_forever(self) -> None:
+        """Block until the server is stopped (the CLI's foreground mode)."""
+        if self._thread is not None:
+            while self._thread.is_alive():
+                self._thread.join(0.5)
+
+    def stop(self) -> None:
+        """Stop serving, drain the workers, close the journal."""
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._thread is not None:
+            self._thread.join(5.0)
+            self._thread = None
+        self.pool.stop()
+        self.queue.close()
+
+    def __enter__(self) -> "ExperimentService":
+        self.start()
+        return self
+
+    def __exit__(self, *_: object) -> None:
+        self.stop()

@@ -52,10 +52,16 @@ class StoreWarning(UserWarning):
 
 @dataclasses.dataclass(frozen=True)
 class StoreStats:
-    """Lookup/write counters of one :class:`ResultStore` instance.
+    """One snapshot of a :class:`ResultStore`: traffic counters + contents.
 
-    Counters are per-instance (they start at zero when the store is
-    opened), so a CLI invocation's stats describe exactly that run.
+    The counter fields (``hits``/``misses``/``puts``/``corrupt``) are
+    per-instance — they start at zero when the store is opened, so a CLI
+    invocation's stats describe exactly that run.  The content fields
+    (``records``/``bytes``) describe the store *directory* at snapshot
+    time, shared by every process using it.  This is the single stats
+    surface: ``repro store stats``, the service's progress/health
+    endpoints, and the engine's per-run deltas all read it instead of
+    reaching into store internals.
 
     Attributes:
         hits: Lookups answered from disk.
@@ -63,12 +69,16 @@ class StoreStats:
         puts: Records actually written (existing keys are skipped, not
             rewritten).
         corrupt: Records that failed an integrity check on the read path.
+        records: Record files currently on disk.
+        bytes: Total size of those record files in bytes.
     """
 
     hits: int = 0
     misses: int = 0
     puts: int = 0
     corrupt: int = 0
+    records: int = 0
+    bytes: int = 0
 
     def as_dict(self) -> Dict[str, object]:
         """Flat summary used by reports."""
@@ -77,6 +87,8 @@ class StoreStats:
             "store_misses": self.misses,
             "store_puts": self.puts,
             "store_corrupt": self.corrupt,
+            "store_records": self.records,
+            "store_bytes": self.bytes,
         }
 
 
@@ -310,6 +322,22 @@ class ResultStore:
         """Number of record files in the store."""
         return sum(1 for _ in self.digests())
 
+    def _disk_usage(self) -> Tuple[int, int]:
+        """``(records, bytes)`` currently on disk (other writers included)."""
+        records = 0
+        size = 0
+        if self._records.exists():
+            for shard in self._records.iterdir():
+                if not shard.is_dir():
+                    continue
+                for path in shard.glob("*.json"):
+                    try:
+                        size += path.stat().st_size
+                    except OSError:
+                        continue  # racing gc/merge: count only what's readable
+                    records += 1
+        return records, size
+
     def record_text(self, digest: str) -> Optional[str]:
         """The raw canonical file text of one record, or ``None``."""
         try:
@@ -318,13 +346,16 @@ class ResultStore:
             return None
 
     def stats(self) -> StoreStats:
-        """Snapshot of this instance's lookup/write counters."""
+        """Snapshot of the instance counters plus the on-disk contents."""
+        records, size = self._disk_usage()
         with self._lock:
             return StoreStats(
                 hits=self._hits,
                 misses=self._misses,
                 puts=self._puts,
                 corrupt=self._corrupt,
+                records=records,
+                bytes=size,
             )
 
     def counts_by_kind(self) -> Dict[str, int]:

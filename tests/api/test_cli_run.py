@@ -10,7 +10,7 @@ import json
 
 import pytest
 
-from repro.cli import main as cli_main
+from repro.cli import EXIT_ERROR, EXIT_NOT_WARM, EXIT_OK, main as cli_main
 
 
 def write_spec(tmp_path, payload, name="spec.json"):
@@ -139,6 +139,53 @@ class TestRunErrorPaths:
         self.assert_clean_error(
             capsys, ["run", path, "--workers", "-2"], "workers must be >= 0"
         )
+
+
+class TestExitCodeContract:
+    """Pin the documented exit codes the experiment service maps to HTTP.
+
+    ``repro serve`` turns these into statuses (0 → 200, 2 → 400 at submit /
+    a failed job at run time, 3 → the warm-store assertion in CI), so the
+    server-adjacent error paths must keep their codes.
+    """
+
+    INFEASIBLE = dict(
+        GOOD_SOLVE,
+        requirements={"energy_budget": 1e-9, "max_delay": 1e-3},
+        solver={"grid_points": 10},
+    )
+
+    @pytest.mark.parametrize(
+        "payload, extra_argv, expected",
+        [
+            pytest.param(GOOD_SOLVE, [], EXIT_OK, id="ok"),
+            pytest.param(None, [], EXIT_ERROR, id="unreadable-spec"),
+            pytest.param("{not json", [], EXIT_ERROR, id="broken-json"),
+            pytest.param({"kind": "frobnicate"}, [], EXIT_ERROR, id="unknown-kind"),
+            pytest.param(INFEASIBLE, [], EXIT_ERROR, id="infeasible-solve"),
+            pytest.param(
+                GOOD_SOLVE,
+                ["--store", "{tmp}/store", "--require-warm"],
+                EXIT_NOT_WARM,
+                id="cold-store-require-warm",
+            ),
+        ],
+    )
+    def test_exit_code(self, capsys, tmp_path, payload, extra_argv, expected):
+        if payload is None:
+            path = str(tmp_path / "missing.json")
+        elif isinstance(payload, str):
+            spec_path = tmp_path / "broken.json"
+            spec_path.write_text(payload)
+            path = str(spec_path)
+        else:
+            path = write_spec(tmp_path, payload)
+        argv = ["run", path] + [arg.format(tmp=tmp_path) for arg in extra_argv]
+        assert cli_main(argv) == expected
+        captured = capsys.readouterr()
+        if expected == EXIT_ERROR:
+            assert captured.err.startswith("error: ")
+            assert "Traceback" not in captured.err
 
 
 class TestNameListSplitting:

@@ -172,7 +172,9 @@ class TestStoreSubcommands:
     def test_stats(self, capsys, tmp_path):
         store = self._populate(tmp_path, capsys)
         assert cli_main(["store", "stats", str(store)]) == 0
-        assert "2 record(s) (solve: 2)" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "2 record(s) (solve: 2)" in out
+        assert "bytes" in out  # the stats() snapshot includes disk usage
 
     def test_verify_clean(self, capsys, tmp_path):
         store = self._populate(tmp_path, capsys)

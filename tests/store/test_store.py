@@ -112,6 +112,25 @@ class TestGetPut:
         assert (stats.hits, stats.misses, stats.puts) == (1, 1, 1)
         assert ResultStore(tmp_path / "store").stats().puts == 0
 
+    def test_stats_report_disk_records_and_bytes(self, tmp_path):
+        # records/bytes describe the directory, so every instance — and
+        # the service's progress endpoint — sees the same numbers.
+        store = ResultStore(tmp_path / "store")
+        assert (store.stats().records, store.stats().bytes) == (0, 0)
+        for index in range(3):
+            store.put(digest_of("replication", index), PAYLOAD, kind="replication")
+        stats = store.stats()
+        assert stats.records == 3
+        expected = sum(
+            path.stat().st_size
+            for path in (tmp_path / "store" / "records").rglob("*.json")
+        )
+        assert stats.bytes == expected
+        other = ResultStore(tmp_path / "store").stats()
+        assert (other.records, other.bytes) == (3, expected)
+        assert other.as_dict()["store_records"] == 3
+        assert other.as_dict()["store_bytes"] == expected
+
 
 class TestCorruption:
     def _stored(self, tmp_path):

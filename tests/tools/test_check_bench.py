@@ -195,6 +195,74 @@ class TestBatchedGate:
                 run_gate(base, fresh, "--batched-speedup-floor", spec)
 
 
+def service_artifact(tmp_path, name, warm_rps, **overrides):
+    payload = {
+        "schema": "repro.bench.service",
+        "schema_version": 1,
+        "grid_points": 16,
+        "units": 3,
+        "workers": 2,
+        "cold_latency_seconds": 0.8,
+        "warm_requests": 100,
+        "warm_seconds": 0.07,
+        "warm_requests_per_second": warm_rps,
+        **overrides,
+    }
+    path = tmp_path / name
+    path.write_text(json.dumps(payload))
+    return path
+
+
+class TestServiceGate:
+    """The ``--service`` artifact: absolute warm-hit throughput floor."""
+
+    def test_above_floor_passes(self, tmp_path, capsys):
+        base = artifact(tmp_path, "base.json", {"xmac": 30000.0})
+        fresh = artifact(tmp_path, "fresh.json", {"xmac": 30000.0})
+        service = service_artifact(tmp_path, "service.json", 1400.0)
+        assert run_gate(base, fresh, "--service", str(service)) == 0
+        out = capsys.readouterr().out
+        assert "OK   service: warm hits 1,400 req/s" in out
+        assert "all 2 gated entries within bounds" in out
+
+    def test_below_floor_fails(self, tmp_path, capsys):
+        base = artifact(tmp_path, "base.json", {"xmac": 30000.0})
+        fresh = artifact(tmp_path, "fresh.json", {"xmac": 30000.0})
+        service = service_artifact(tmp_path, "service.json", 10.0)
+        assert run_gate(base, fresh, "--service", str(service)) == 1
+        assert "FAIL service" in capsys.readouterr().out
+
+    def test_custom_floor(self, tmp_path):
+        base = artifact(tmp_path, "base.json", {"xmac": 30000.0})
+        fresh = artifact(tmp_path, "fresh.json", {"xmac": 30000.0})
+        service = service_artifact(tmp_path, "service.json", 50.0)
+        args = ["--service", str(service), "--min-service-warm-rps"]
+        assert run_gate(base, fresh, *args, "100") == 1
+        assert run_gate(base, fresh, *args, "40") == 0
+        assert run_gate(base, fresh, *args, "0") == 0  # disabled
+
+    def test_missing_throughput_field_fails(self, tmp_path, capsys):
+        base = artifact(tmp_path, "base.json", {"xmac": 30000.0})
+        fresh = artifact(tmp_path, "fresh.json", {"xmac": 30000.0})
+        service = service_artifact(
+            tmp_path, "service.json", "not-a-number"
+        )
+        assert run_gate(base, fresh, "--service", str(service)) == 1
+        assert "no usable warm_requests_per_second" in capsys.readouterr().out
+
+    def test_wrong_service_schema_rejected(self, tmp_path):
+        base = artifact(tmp_path, "base.json", {"xmac": 30000.0})
+        fresh = artifact(tmp_path, "fresh.json", {"xmac": 30000.0})
+        with pytest.raises(SystemExit, match="artifact"):
+            run_gate(base, fresh, "--service", str(base))
+
+    def test_missing_service_artifact_rejected(self, tmp_path):
+        base = artifact(tmp_path, "base.json", {"xmac": 30000.0})
+        fresh = artifact(tmp_path, "fresh.json", {"xmac": 30000.0})
+        with pytest.raises(SystemExit, match="not found"):
+            run_gate(base, fresh, "--service", str(tmp_path / "nope.json"))
+
+
 class TestArtifactValidation:
     def test_missing_fresh_artifact(self, tmp_path):
         base = artifact(tmp_path, "base.json", {"xmac": 30000.0})

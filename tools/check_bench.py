@@ -29,6 +29,12 @@ dmac/scpmac kernels at 3×).  The speedup is a within-process ratio of the
 two engines over the same seeds, so unlike raw throughput it is stable
 across runner machines.
 
+``--service BENCH_service.json`` additionally gates the experiment
+service's warm-hit throughput against the absolute
+``--min-service-warm-rps`` floor (no baseline needed: warm hits serve
+stored bytes, so even a slow runner clears a conservative floor unless the
+serving path itself regressed).
+
 Throughput on shared CI runners is noisy, so the failure threshold is
 deliberately loose: it catches "accidentally made the event loop 2× slower"
 class regressions, not single-digit percentages.
@@ -45,6 +51,10 @@ from typing import Dict, List, Optional, Sequence
 #: Expected artifact identity (see ``benchmarks/bench_simulator.py``).
 BENCH_SCHEMA = "repro.bench.simulator"
 BENCH_SCHEMA_VERSION = 1
+
+#: Service bench artifact identity (see ``benchmarks/bench_service.py``).
+SERVICE_SCHEMA = "repro.bench.service"
+SERVICE_SCHEMA_VERSION = 1
 
 
 def load_artifact(path: Path) -> Dict[str, object]:
@@ -168,6 +178,61 @@ def check_batched_speedups(
     return failures
 
 
+def load_service_artifact(path: Path) -> Dict[str, object]:
+    """Load and sanity-check one ``BENCH_service.json`` artifact."""
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        sys.exit(f"error: service bench artifact not found: {path}")
+    except json.JSONDecodeError as error:
+        sys.exit(f"error: {path} is not valid JSON: {error}")
+    if not isinstance(payload, dict) or payload.get("schema") != SERVICE_SCHEMA:
+        sys.exit(f"error: {path} is not a {SERVICE_SCHEMA!r} artifact")
+    if payload.get("schema_version") != SERVICE_SCHEMA_VERSION:
+        sys.exit(
+            f"error: {path} has schema_version {payload.get('schema_version')!r}, "
+            f"expected {SERVICE_SCHEMA_VERSION}"
+        )
+    return payload
+
+
+def check_service_bench(
+    payload: Dict[str, object], min_warm_rps: float
+) -> List[str]:
+    """Enforce the experiment-service warm-hit throughput floor.
+
+    Warm requests are served from the queue's result file — no solving —
+    so unlike raw solver throughput an *absolute* floor travels across
+    machines: anything below ``min_warm_rps`` means the HTTP/queue path
+    itself regressed (e.g. an accidental re-execution per request).
+    ``0`` disables the check.
+
+    Returns:
+        The list of failure messages (empty when the floor holds).
+    """
+    failures: List[str] = []
+    warm_rps = payload.get("warm_requests_per_second")
+    if not isinstance(warm_rps, (int, float)) or warm_rps <= 0:
+        failures.append("service: artifact has no usable warm_requests_per_second")
+        print("FAIL service: no usable warm_requests_per_second in artifact")
+        return failures
+    cold = payload.get("cold_latency_seconds")
+    if isinstance(cold, (int, float)):
+        print(f"NOTE service: cold submit->result latency {cold:.3f}s (not gated)")
+    if min_warm_rps <= 0:
+        print(f"NOTE service: warm hits {warm_rps:,.0f} req/s (floor disabled)")
+        return failures
+    line = f"service: warm hits {warm_rps:,.0f} req/s (floor {min_warm_rps:g})"
+    if warm_rps < min_warm_rps:
+        failures.append(
+            f"service: {warm_rps:,.0f} warm req/s < {min_warm_rps:g} floor"
+        )
+        print(f"FAIL {line}")
+    else:
+        print(f"OK   {line}")
+    return failures
+
+
 def compare(
     baseline: Dict[str, float],
     fresh: Dict[str, float],
@@ -250,6 +315,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="per-protocol override of --min-batched-speedup (repeatable); "
         "a floored protocol missing from the fresh artifact fails the gate",
     )
+    parser.add_argument(
+        "--service",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="also gate a BENCH_service.json artifact "
+        "(see benchmarks/bench_service.py)",
+    )
+    parser.add_argument(
+        "--min-service-warm-rps",
+        type=float,
+        default=25.0,
+        help="required warm-hit throughput of the experiment service in "
+        "requests/second (absolute floor, no baseline; 0 disables)",
+    )
     args = parser.parse_args(list(argv) if argv is not None else None)
     if not 0 < args.fail_below <= 1:
         sys.exit(f"error: --fail-below must be in (0, 1], got {args.fail_below}")
@@ -287,10 +367,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         dict(args.batched_speedup_floor),
     )
 
+    gated = len(baseline) + len(set(baseline_batched) | set(fresh_batched))
+    if args.service is not None:
+        failures += check_service_bench(
+            load_service_artifact(args.service), args.min_service_warm_rps
+        )
+        gated += 1
+
     if failures:
         print(f"bench gate: {len(failures)} regression(s) vs {args.baseline}")
         return 1
-    gated = len(baseline) + len(set(baseline_batched) | set(fresh_batched))
     print(f"bench gate: all {gated} gated entries within bounds")
     return 0
 

@@ -194,34 +194,42 @@ def json_spec_blocks(markdown: str) -> Iterable[Tuple[int, str]]:
         yield line, body
 
 
-def check_spec_snippets(root: Path) -> List[str]:
-    """Invalid experiment-spec snippets in ``docs/api.md`` (empty when clean).
+#: Pages whose fenced ``json`` blocks must all be loadable experiment
+#: specs.  Response payloads and other non-spec JSON on these pages use a
+#: ``jsonc`` fence instead, which this check deliberately skips.
+_SPEC_SNIPPET_PAGES = ("docs/api.md", "docs/service.md")
 
-    The API documentation promises that every JSON block is a loadable
-    :class:`~repro.api.spec.ExperimentSpec`; this check keeps the promise
-    honest by constructing each one through ``ExperimentSpec.from_dict``.
+
+def check_spec_snippets(root: Path) -> List[str]:
+    """Invalid experiment-spec snippets in the spec pages (empty when clean).
+
+    The API and service documentation promise that every JSON block is a
+    loadable :class:`~repro.api.spec.ExperimentSpec`; this check keeps the
+    promise honest by constructing each one through
+    ``ExperimentSpec.from_dict``.
     """
     import json
 
-    page = root / "docs" / "api.md"
-    if not page.exists():
-        return []
     from repro.api import ExperimentSpec
     from repro.exceptions import ReproError
 
     problems: List[str] = []
-    markdown = page.read_text(encoding="utf-8")
-    for line, body in json_spec_blocks(markdown):
-        name = f"{page.relative_to(root)}:{line}"
-        try:
-            payload = json.loads(body)
-        except json.JSONDecodeError as error:
-            problems.append(f"{name}: spec snippet is not valid JSON — {error}")
+    for page_name in _SPEC_SNIPPET_PAGES:
+        page = root / page_name
+        if not page.exists():
             continue
-        try:
-            ExperimentSpec.from_dict(payload)
-        except ReproError as error:
-            problems.append(f"{name}: spec snippet does not parse — {error}")
+        markdown = page.read_text(encoding="utf-8")
+        for line, body in json_spec_blocks(markdown):
+            name = f"{page.relative_to(root)}:{line}"
+            try:
+                payload = json.loads(body)
+            except json.JSONDecodeError as error:
+                problems.append(f"{name}: spec snippet is not valid JSON — {error}")
+                continue
+            try:
+                ExperimentSpec.from_dict(payload)
+            except ReproError as error:
+                problems.append(f"{name}: spec snippet does not parse — {error}")
     return problems
 
 

@@ -1,0 +1,182 @@
+"""Service identity check: the job server answers exactly like ``repro run``.
+
+For every spec in ``examples/specs/*.json`` (or ``--specs``), submit the
+spec to a running experiment service through the client, wait for the job,
+and assert:
+
+1. **Byte-identity** — the served result equals the bytes a direct
+   in-process ``run(spec)`` produces (``ResultSet.json_text()``), i.e. the
+   service is a transport, not a different engine.  Skip with
+   ``--skip-direct``.
+2. **Warmth** (``--expect-warm``) — the finished job's progress counters
+   report zero fresh results (``store_misses == 0`` and
+   ``store_puts == 0``): every answer came from the shared warm store.
+
+With ``--url`` the check drives an already-running server (CI starts one
+with ``repro-mac-game serve`` first).  Without it, the check is
+self-contained: it starts an in-process service on ``--store`` (a
+temporary directory by default), runs the cold pass, then restarts the
+service with a fresh queue on the same store and runs the warm pass —
+the acceptance criterion of the service PR in one command::
+
+    PYTHONPATH=src python tools/check_service.py
+
+Exit status 0 when everything holds, 1 otherwise (one line per problem).
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import sys
+import tempfile
+from pathlib import Path
+from typing import List, Optional
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.api import ExperimentSpec, run as run_experiment  # noqa: E402
+from repro.api.engine import runner_for  # noqa: E402
+from repro.service import JobFailedError, ServiceClient  # noqa: E402
+
+
+def direct_bytes(spec: ExperimentSpec) -> bytes:
+    """What ``repro run spec.json --out`` would write (cold, no store)."""
+    return run_experiment(spec, runner=runner_for(spec)).json_text().encode("utf-8")
+
+
+def check_specs(
+    client: ServiceClient,
+    spec_paths: List[Path],
+    expect_warm: bool,
+    skip_direct: bool,
+    timeout: float,
+) -> List[str]:
+    """Problems found submitting every spec (empty when clean)."""
+    problems: List[str] = []
+    for path in spec_paths:
+        spec = ExperimentSpec.from_dict(json.loads(path.read_text()))
+        job, created = client.submit(spec)
+        job_id = str(job["job_id"])
+        try:
+            served = client.wait(job_id, timeout=timeout)
+        except (JobFailedError, TimeoutError) as error:
+            problems.append(f"{path.name}: job did not complete — {error}")
+            continue
+        verdicts = [f"{'new' if created else 'known'} job {job_id[:12]}…"]
+
+        if not skip_direct:
+            expected = direct_bytes(spec)
+            if served != expected:
+                problems.append(
+                    f"{path.name}: served result differs from direct run "
+                    f"({len(served)} vs {len(expected)} bytes)"
+                )
+            else:
+                verdicts.append(f"byte-identical ({len(served)} bytes)")
+
+        progress = client.status(job_id).get("progress", {})
+        fresh = int(progress.get("store_misses", 0)) + int(
+            progress.get("store_puts", 0)
+        )
+        if expect_warm:
+            if fresh:
+                problems.append(
+                    f"{path.name}: expected a fully warm answer, saw "
+                    f"{progress.get('store_misses', 0)} store misses / "
+                    f"{progress.get('store_puts', 0)} puts"
+                )
+            else:
+                verdicts.append("fully warm (zero fresh results)")
+        else:
+            verdicts.append(f"{fresh} fresh result(s)")
+        print(f"== {path.name}: {', '.join(verdicts)}")
+    return problems
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--url",
+        default=None,
+        help="base URL of a running service (e.g. http://127.0.0.1:8642/v1); "
+        "omit to start an in-process service and run both passes",
+    )
+    parser.add_argument(
+        "--specs",
+        default=str(REPO_ROOT / "examples" / "specs" / "*.json"),
+        help="glob of spec files to submit (default: examples/specs/*.json)",
+    )
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="store directory for the in-process service (default: a tempdir)",
+    )
+    parser.add_argument(
+        "--expect-warm",
+        action="store_true",
+        help="assert every job reports zero fresh results",
+    )
+    parser.add_argument(
+        "--skip-direct",
+        action="store_true",
+        help="skip the byte-identity comparison against a direct run",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=600.0,
+        help="per-job completion timeout in seconds",
+    )
+    args = parser.parse_args(argv)
+
+    spec_paths = [Path(path) for path in sorted(glob.glob(args.specs))]
+    if not spec_paths:
+        print(f"no spec files match {args.specs}", file=sys.stderr)
+        return 1
+
+    problems: List[str] = []
+    if args.url:
+        client = ServiceClient(args.url)
+        problems += check_specs(
+            client, spec_paths, args.expect_warm, args.skip_direct, args.timeout
+        )
+    else:
+        from repro.service import ExperimentService
+
+        store_dir = Path(args.store) if args.store else Path(tempfile.mkdtemp())
+        print(f"# cold pass: in-process service on {store_dir}")
+        with ExperimentService(store_dir=store_dir, workers=2) as service:
+            problems += check_specs(
+                ServiceClient(service.url),
+                spec_paths,
+                expect_warm=False,
+                skip_direct=args.skip_direct,
+                timeout=args.timeout,
+            )
+        print("# warm pass: fresh queue, same store")
+        with ExperimentService(
+            store_dir=store_dir, queue_dir=store_dir / "jobs-warm", workers=2
+        ) as service:
+            problems += check_specs(
+                ServiceClient(service.url),
+                spec_paths,
+                expect_warm=True,
+                skip_direct=True,
+                timeout=args.timeout,
+            )
+
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        print(f"service check: {len(problems)} problem(s)", file=sys.stderr)
+        return 1
+    print(f"service check: {len(spec_paths)} spec(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
