@@ -37,6 +37,10 @@ VOLATILE_METADATA = (
     "store_hits",
     "store_misses",
     "store_puts",
+    "solver_coarse_evaluations",
+    "solver_refined_evaluations",
+    "solver_polish_evaluations",
+    "solver_cells_pruned",
 )
 
 
@@ -121,7 +125,13 @@ class ResultSet:
         return [dict(record.row) for record in self.records]
 
     def summary(self) -> Dict[str, object]:
-        """Compact run summary (counts, kind, provenance, runner)."""
+        """Compact run summary (counts, kind, provenance, runner).
+
+        Includes the volatile counters present in the metadata — cache and
+        store traffic, plus the adaptive solver's work counters
+        (``solver_*_evaluations``, ``solver_cells_pruned``) when any solve
+        recorded them.
+        """
         return {
             "kind": self.kind,
             "name": self.spec.name,
@@ -138,6 +148,10 @@ class ResultSet:
                     "store_hits",
                     "store_misses",
                     "store_puts",
+                    "solver_coarse_evaluations",
+                    "solver_refined_evaluations",
+                    "solver_polish_evaluations",
+                    "solver_cells_pruned",
                 )
                 if key in self.metadata
             },

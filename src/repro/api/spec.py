@@ -35,6 +35,7 @@ from pathlib import Path
 from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.exceptions import ConfigurationError
+from repro.optimization.hybrid import SOLVER_METHODS
 from repro.simulation.runner import SIM_ENGINES
 
 #: Every workload kind a spec may declare, in documentation order.
@@ -88,6 +89,10 @@ class RuntimePolicy:
         sim_engine: Simulation engine (``"scalar"`` or ``"batched"``).  The
             engines are bit-identical, so this lives in the runtime section
             (excluded from ``spec_hash``) and never changes a result.
+        solver_method: Grid-stage solver override (``"exhaustive"`` or
+            ``"adaptive"``); ``None`` defers to the spec's
+            ``solver.method``.  Like ``sim_engine``, the methods return
+            identical solutions, so the override is runtime provenance.
     """
 
     workers: int = 1
@@ -95,6 +100,7 @@ class RuntimePolicy:
     mode: str = "auto"
     chunk_size: Optional[int] = None
     sim_engine: str = "scalar"
+    solver_method: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.sim_engine not in SIM_ENGINES:
@@ -102,13 +108,18 @@ class RuntimePolicy:
                 f"runtime.sim_engine must be one of {', '.join(SIM_ENGINES)}; "
                 f"got {self.sim_engine!r}"
             )
+        if self.solver_method is not None and self.solver_method not in SOLVER_METHODS:
+            raise ConfigurationError(
+                f"runtime.solver_method must be one of {', '.join(SOLVER_METHODS)}; "
+                f"got {self.solver_method!r}"
+            )
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, object]) -> "RuntimePolicy":
         _check_keys(
             "runtime",
             payload,
-            ("workers", "cache", "mode", "chunk_size", "sim_engine"),
+            ("workers", "cache", "mode", "chunk_size", "sim_engine", "solver_method"),
         )
         return cls(
             workers=int(payload.get("workers", 1)),
@@ -120,6 +131,11 @@ class RuntimePolicy:
                 else int(payload["chunk_size"])  # type: ignore[arg-type]
             ),
             sim_engine=str(payload.get("sim_engine", "scalar")),
+            solver_method=(
+                None
+                if payload.get("solver_method") is None
+                else str(payload["solver_method"])
+            ),
         )
 
     def as_dict(self) -> Dict[str, object]:
@@ -129,7 +145,16 @@ class RuntimePolicy:
             "mode": self.mode,
             "chunk_size": self.chunk_size,
             "sim_engine": self.sim_engine,
+            "solver_method": self.solver_method,
         }
+
+
+#: Solver keys that choose *how* the grid stage runs, never *what* it
+#: returns (the methods are differentially proven identical).  Stripped
+#: from ``spec_hash`` and from the solve cache/store keys, exactly like
+#: the runtime policy, so provenance and stored results are
+#: method-independent.
+SOLVER_METHOD_KEYS = ("method", "coarse_points", "refine_rounds", "top_k")
 
 
 @dataclass(frozen=True)
@@ -138,12 +163,24 @@ class SolverSettings:
 
     Attributes:
         grid_points: Grid resolution per parameter dimension.
+        method: Grid-stage strategy: ``"exhaustive"`` scans the full grid,
+            ``"adaptive"`` refines coarse-to-fine to the identical answer
+            (see :mod:`repro.optimization.adaptive`).  Excluded from
+            ``spec_hash`` along with the three adaptive knobs below.
+        coarse_points: Adaptive method: points per axis of the coarse scan.
+        refine_rounds: Adaptive method: maximum bisection rounds before a
+            kept cell is evaluated at full resolution.
+        top_k: Adaptive method: incumbent points kept per ranking round.
         options: Extra keyword options forwarded verbatim to
             :class:`~repro.core.tradeoff.EnergyDelayGame` (e.g.
             ``random_starts``).
     """
 
     grid_points: int = 60
+    method: str = "exhaustive"
+    coarse_points: int = 11
+    refine_rounds: int = 3
+    top_k: int = 3
     options: Mapping[str, object] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -151,19 +188,53 @@ class SolverSettings:
             raise ConfigurationError(
                 f"solver.grid_points must be an integer >= 2, got {self.grid_points!r}"
             )
+        if self.method not in SOLVER_METHODS:
+            raise ConfigurationError(
+                f"unknown solver.method {self.method!r}; "
+                f"choose from {', '.join(SOLVER_METHODS)}"
+            )
+        for name, minimum in (("coarse_points", 2), ("refine_rounds", 1), ("top_k", 1)):
+            value = getattr(self, name)
+            if not isinstance(value, int) or isinstance(value, bool) or value < minimum:
+                raise ConfigurationError(
+                    f"solver.{name} must be an integer >= {minimum}, got {value!r}"
+                )
         object.__setattr__(self, "options", dict(self.options))
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, object]) -> "SolverSettings":
-        extra = {key: value for key, value in payload.items() if key != "grid_points"}
-        return cls(grid_points=int(payload.get("grid_points", 60)), options=extra)
+        first_class = ("grid_points",) + SOLVER_METHOD_KEYS
+        extra = {key: value for key, value in payload.items() if key not in first_class}
+        defaults = cls()
+        return cls(
+            grid_points=int(payload.get("grid_points", defaults.grid_points)),
+            method=str(payload.get("method", defaults.method)),
+            coarse_points=payload.get("coarse_points", defaults.coarse_points),  # type: ignore[arg-type]
+            refine_rounds=payload.get("refine_rounds", defaults.refine_rounds),  # type: ignore[arg-type]
+            top_k=payload.get("top_k", defaults.top_k),  # type: ignore[arg-type]
+            options=extra,
+        )
 
     def as_dict(self) -> Dict[str, object]:
-        return {"grid_points": self.grid_points, **dict(sorted(self.options.items()))}
+        return {
+            "grid_points": self.grid_points,
+            "method": self.method,
+            "coarse_points": self.coarse_points,
+            "refine_rounds": self.refine_rounds,
+            "top_k": self.top_k,
+            **dict(sorted(self.options.items())),
+        }
 
     def game_options(self) -> Dict[str, object]:
         """The solver options in the shape ``EnergyDelayGame`` accepts."""
-        return {"grid_points_per_dimension": self.grid_points, **self.options}
+        return {
+            "grid_points_per_dimension": self.grid_points,
+            "method": self.method,
+            "coarse_points": self.coarse_points,
+            "refine_rounds": self.refine_rounds,
+            "top_k": self.top_k,
+            **self.options,
+        }
 
 
 @dataclass(frozen=True)
@@ -483,14 +554,31 @@ class ExperimentSpec:
         """Update the ``campaign`` settings."""
         return replace(self, campaign=replace(self.campaign, **settings))
 
-    def with_solver(self, grid_points: Optional[int] = None, **options: object) -> "ExperimentSpec":
+    def with_solver(
+        self,
+        grid_points: Optional[int] = None,
+        method: Optional[str] = None,
+        coarse_points: Optional[int] = None,
+        refine_rounds: Optional[int] = None,
+        top_k: Optional[int] = None,
+        **options: object,
+    ) -> "ExperimentSpec":
         """Update the game solver settings."""
         merged = dict(self.solver.options)
         merged.update(options)
+        current = self.solver
         return replace(
             self,
             solver=SolverSettings(
-                grid_points=self.solver.grid_points if grid_points is None else grid_points,
+                grid_points=current.grid_points if grid_points is None else grid_points,
+                method=current.method if method is None else method,
+                coarse_points=(
+                    current.coarse_points if coarse_points is None else coarse_points
+                ),
+                refine_rounds=(
+                    current.refine_rounds if refine_rounds is None else refine_rounds
+                ),
+                top_k=current.top_k if top_k is None else top_k,
                 options=merged,
             ),
         )
@@ -630,9 +718,16 @@ class ExperimentSpec:
 
         The runtime policy is *excluded*: a spec run with ``--workers 4``
         carries the same provenance as the serial run it is bit-identical
-        to.
+        to.  The solver method knobs (:data:`SOLVER_METHOD_KEYS`) are
+        excluded the same way: the exhaustive and adaptive grid stages
+        return identical solutions, so a spec solved adaptively shares
+        provenance with its exhaustive twin.
         """
         payload = self.to_dict()
         payload.pop("runtime")
+        solver = dict(payload["solver"])  # type: ignore[arg-type]
+        for key in SOLVER_METHOD_KEYS:
+            solver.pop(key, None)
+        payload["solver"] = solver
         canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()

@@ -117,6 +117,8 @@ def _runtime_kwargs(args: argparse.Namespace) -> dict:
     kwargs = {"workers": args.workers, "cache": not args.no_cache}
     if getattr(args, "sim_engine", None):
         kwargs["sim_engine"] = args.sim_engine
+    if getattr(args, "solver_method", None):
+        kwargs["solver_method"] = args.solver_method
     return kwargs
 
 
@@ -167,6 +169,13 @@ def _add_runtime_arguments(parser: argparse.ArgumentParser) -> None:
         help="simulation engine for packet-level replications "
         "(bit-identical results; batched is faster for X-MAC/LMAC)",
     )
+    parser.add_argument(
+        "--solver-method",
+        choices=("exhaustive", "adaptive"),
+        default=None,
+        help="grid stage of the game solver (identical solutions; "
+        "adaptive evaluates a fraction of the grid)",
+    )
 
 
 def _write_optional_csv(result: ResultSet, path: Optional[str]) -> None:
@@ -195,6 +204,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         spec = spec.with_runtime(cache=False)
     if args.sim_engine is not None:
         spec = spec.with_runtime(sim_engine=args.sim_engine)
+    if args.solver_method is not None:
+        spec = spec.with_runtime(solver_method=args.solver_method)
     plan = plan_experiment(spec)
     if args.shard:
         try:
@@ -503,6 +514,13 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("scalar", "batched"),
         default=None,
         help="override the spec's simulation engine (bit-identical results)",
+    )
+    run_parser.add_argument(
+        "--solver-method",
+        choices=("exhaustive", "adaptive"),
+        default=None,
+        help="override the spec's grid-stage solver method "
+        "(identical solutions; adaptive evaluates a fraction of the grid)",
     )
     run_parser.set_defaults(handler=_cmd_run)
 

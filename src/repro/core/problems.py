@@ -169,6 +169,7 @@ class EnergyMinimizationProblem(_ProblemBase):
             solver=result.method,
             evaluations=result.evaluations,
             binding_constraint=_binding_constraint(self._model, self._requirements, result.x),
+            work=result.work,
         )
 
 
@@ -225,6 +226,7 @@ class DelayMinimizationProblem(_ProblemBase):
             solver=result.method,
             evaluations=result.evaluations,
             binding_constraint=_binding_constraint(self._model, self._requirements, result.x),
+            work=result.work,
         )
 
 

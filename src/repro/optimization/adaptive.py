@@ -1,0 +1,403 @@
+"""Adaptive coarse-to-fine grid search, bit-identical to the exhaustive scan.
+
+:func:`adaptive_grid_search` answers the same question as
+:func:`repro.optimization.grid.grid_search` — the best point of the
+full-factorial fine grid — while evaluating only a fraction of it.  The
+trick is that every point it *does* evaluate is a point of the fine grid
+(the coarse levels are a subset of the fine axis indices), and the batched
+``.many`` twins are element-wise per row, so evaluating a subset of the
+fine grid produces bit-identical numbers to evaluating the whole of it.
+The final selection applies the exhaustive scan's exact semantics
+(feasible-first, then signed objective, then least violation, first index
+on ties) over the evaluated subset kept in ascending fine-index order, so
+whenever the subset contains the exhaustive winner the returned
+:class:`SolverResult` is *identical* — same point, same value, same
+tie-break, same ``evaluations`` count (the nominal full-grid total, so
+serialized artifacts cannot tell the methods apart).
+
+Refinement strategy (the part that keeps the winner in the subset):
+
+1. **Coarse stage** — evaluate a coarse tensor grid (``coarse_points``
+   levels per axis, always including both ends of every axis).
+2. **Cell selection** — a *cell* is the box between adjacent coarse levels.
+   Keep (a) every cell touching one of the global top-``top_k`` points under
+   the feasible ranking *and* under the least-violation ranking (the
+   incumbent neighborhoods), and (b) every cell whose corners disagree on
+   feasibility or on validity (the feasibility boundary) — a constraint can
+   flip inside a coarse cell, so a cell is never pruned on the coarse
+   feasibility verdict alone.  Everything else is pruned.
+3. **Refinement** — incumbent cells are evaluated at full fine resolution
+   outright (exactness inside a kept neighborhood is then unconditional);
+   boundary cells are bisected, their new corners evaluated, and the
+   selection re-run globally (so a boundary subcell that turns out to be
+   competitive is promoted to an incumbent and fully evaluated).  After
+   ``refine_rounds`` rounds every surviving cell is evaluated fully, so
+   kept neighborhoods always reach the exhaustive grid's resolution.
+4. **Fallback** — if no feasible point was found anywhere, the remaining
+   grid is evaluated exhaustively before answering.  The infeasible branch
+   (least-violation argmin) and the no-finite-point error are therefore
+   *unconditionally* identical to the exhaustive path, and the methods can
+   only ever disagree by missing a strictly feasible winner — which the
+   differential harness (``tests/optimization/test_adaptive_differential``)
+   sweeps for across the full scenario × protocol × requirement matrix.
+
+The real work performed is reported in ``SolverResult.work`` (coarse /
+refined evaluation counts and pruned cells), a volatile field excluded
+from ``as_dict`` and from persisted store records.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.core.parameters import ParameterSpace
+from repro.exceptions import ConfigurationError, SolverError
+from repro.optimization.grid import (
+    _NO_FINITE_POINT,
+    Constraint,
+    Objective,
+    _batched_twin,
+    grid_search,
+)
+from repro.optimization.result import SolverResult
+
+__all__ = ["adaptive_grid_search"]
+
+#: A cell: one inclusive ``(low, high)`` fine-index interval per axis.
+_Cell = Tuple[Tuple[int, int], ...]
+
+#: Cells with every axis width at or below this are evaluated outright
+#: instead of bisected — at that size bisection no longer saves anything.
+_LEAF_WIDTH = 3
+
+
+def _validated_knob(name: str, value: object, minimum: int) -> int:
+    """An adaptive-solver knob as a validated integer (>= ``minimum``)."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ConfigurationError(
+            f"solver.{name} must be an integer >= {minimum}, got {value!r}"
+        )
+    if value < minimum:
+        raise ConfigurationError(
+            f"solver.{name} must be an integer >= {minimum}, got {value!r}"
+        )
+    return value
+
+
+class _SubsetEvaluator:
+    """Lazily evaluated fine grid: per-flat-index objective and margins.
+
+    Stores the same quantities the vectorized exhaustive scan computes
+    (``raw`` objective, running max ``violation``, validity), produced by
+    the same operations in the same dtype, just restricted to the evaluated
+    subset — which keeps the numbers bit-identical per point.
+    """
+
+    def __init__(self, axes, shape, objective_many, constraint_manys) -> None:
+        self.axes = axes
+        self.shape = shape
+        self.total = int(np.prod(shape))
+        self._objective_many = objective_many
+        self._constraint_manys = constraint_manys
+        self.raw = np.empty(self.total)
+        self.violation = np.empty(self.total)
+        self.valid = np.zeros(self.total, dtype=bool)
+        self.evaluated = np.zeros(self.total, dtype=bool)
+
+    def count(self) -> int:
+        return int(self.evaluated.sum())
+
+    def point(self, flat: int) -> np.ndarray:
+        multi = np.unravel_index(flat, self.shape)
+        return np.array(
+            [self.axes[i][multi[i]] for i in range(len(self.axes))], dtype=float
+        )
+
+    def evaluate(self, flat: np.ndarray) -> None:
+        """Evaluate the not-yet-evaluated subset of ``flat`` fine indices."""
+        flat = np.unique(np.asarray(flat, dtype=np.intp).ravel())
+        flat = flat[~self.evaluated[flat]]
+        if flat.size == 0:
+            return
+        multi = np.unravel_index(flat, self.shape)
+        points = np.stack(
+            [self.axes[i][multi[i]] for i in range(len(self.axes))], axis=-1
+        )
+        count = points.shape[0]
+        violation = np.zeros(count)
+        margins_finite = np.ones(count, dtype=bool)
+        for many in self._constraint_manys:
+            margins = np.asarray(many(points), dtype=float).reshape(count)
+            margins_finite &= np.isfinite(margins)
+            violation = np.maximum(violation, -margins)
+        raw = np.asarray(self._objective_many(points), dtype=float).reshape(count)
+        self.raw[flat] = raw
+        self.violation[flat] = violation
+        self.valid[flat] = margins_finite & np.isfinite(raw)
+        self.evaluated[flat] = True
+
+
+def _tensor_flats(levels: Sequence[np.ndarray], shape) -> np.ndarray:
+    """Flat fine indices of the tensor product of per-axis index levels."""
+    mesh = np.meshgrid(*levels, indexing="ij")
+    return np.ravel_multi_index([m.ravel() for m in mesh], shape)
+
+
+def _cells_from_levels(levels: Sequence[np.ndarray]) -> List[_Cell]:
+    """All cells between adjacent levels (degenerate axes keep one pair)."""
+    intervals: List[List[Tuple[int, int]]] = []
+    for axis_levels in levels:
+        values = [int(v) for v in axis_levels]
+        if len(values) == 1:
+            intervals.append([(values[0], values[0])])
+        else:
+            intervals.append(list(zip(values[:-1], values[1:])))
+    return list(itertools.product(*intervals))
+
+
+def _unresolved(cell: _Cell) -> bool:
+    """Whether the cell still has interior fine points to consider."""
+    return any(high - low > 1 for low, high in cell)
+
+
+def _corner_flats(cell: _Cell, shape) -> List[int]:
+    """Flat fine indices of the (up to ``2**dim``) corners of a cell."""
+    corner_axes = [sorted({low, high}) for low, high in cell]
+    return [
+        int(np.ravel_multi_index(corner, shape))
+        for corner in itertools.product(*corner_axes)
+    ]
+
+
+def _top_points(
+    evaluator: _SubsetEvaluator,
+    sign: float,
+    feasibility_tolerance: float,
+    top_k: int,
+) -> Set[int]:
+    """Global top-``top_k`` evaluated points under both selection rankings.
+
+    The feasible ranking mirrors the exhaustive feasible branch (smaller
+    signed objective wins); the least-violation ranking mirrors the
+    infeasible branch *and* guards the feasibility frontier from outside —
+    the best feasible fine point usually hugs the boundary the coarse grid
+    only sees as its least-violating samples.
+    """
+    index = np.flatnonzero(evaluator.evaluated)
+    if index.size == 0:
+        return set()
+    valid = evaluator.valid[index]
+    violation = evaluator.violation[index]
+    feasible = valid & (violation <= feasibility_tolerance)
+    keep: Set[int] = set()
+    if bool(feasible.any()):
+        signed = np.where(feasible, sign * evaluator.raw[index], np.inf)
+        order = np.argsort(signed, kind="stable")
+        keep.update(int(index[i]) for i in order[:top_k] if feasible[i])
+    if bool(valid.any()):
+        by_violation = np.where(valid, violation, np.inf)
+        order = np.argsort(by_violation, kind="stable")
+        keep.update(int(index[i]) for i in order[:top_k] if valid[i])
+    return keep
+
+
+def _keep_cell(
+    cell: _Cell,
+    evaluator: _SubsetEvaluator,
+    keep_points: Set[int],
+    feasibility_tolerance: float,
+) -> Tuple[bool, bool]:
+    """``(keep, is_incumbent)`` for one candidate cell.
+
+    A cell is kept when it touches a top-ranked point (incumbent
+    neighborhood) or when its corners disagree on feasibility or on
+    validity (the constraint or a non-finite region flips inside it —
+    never prune on the coarse feasibility verdict alone).
+    """
+    corners = _corner_flats(cell, evaluator.shape)
+    if any(flat in keep_points for flat in corners):
+        return True, True
+    valid = evaluator.valid[corners]
+    if bool(valid.any()) != bool(valid.all()):
+        return True, False
+    feasible = valid & (evaluator.violation[corners] <= feasibility_tolerance)
+    if bool(feasible.any()) != bool(feasible.all()):
+        return True, False
+    return False, False
+
+
+def _full_cell_flats(cell: _Cell, shape) -> np.ndarray:
+    """Every fine index inside the cell's box (full resolution)."""
+    levels = [np.arange(low, high + 1) for low, high in cell]
+    return _tensor_flats(levels, shape)
+
+
+def _bisect_cell(cell: _Cell) -> List[np.ndarray]:
+    """Per-axis ``{low, mid, high}`` levels splitting the cell in half."""
+    levels = []
+    for low, high in cell:
+        if high - low > 1:
+            levels.append(np.unique(np.array([low, (low + high) // 2, high])))
+        else:
+            levels.append(np.unique(np.array([low, high])))
+    return levels
+
+
+def adaptive_grid_search(
+    objective: Objective,
+    space: ParameterSpace,
+    constraints: Sequence[Constraint] = (),
+    points_per_dimension: int = 200,
+    maximize: bool = False,
+    feasibility_tolerance: float = 1e-9,
+    coarse_points: int = 11,
+    refine_rounds: int = 3,
+    top_k: int = 3,
+) -> SolverResult:
+    """Coarse-to-fine scan returning the exhaustive fine-grid answer.
+
+    Args:
+        objective: Scalar objective; must carry a batched ``.many`` twin
+            (see :func:`repro.optimization.grid.batched`) along with every
+            constraint for the adaptive path to engage — otherwise the call
+            transparently falls back to the exhaustive scan (identical
+            result, no savings).
+        space: The admissible box.
+        constraints: Margin functions (``>= 0`` means satisfied).
+        points_per_dimension: Resolution of the *fine* grid the result is
+            defined against — the same knob the exhaustive scan takes.
+        maximize: Maximize instead of minimize.
+        feasibility_tolerance: Slack allowed on constraint margins.
+        coarse_points: Levels per axis of the initial coarse stage (>= 2).
+        refine_rounds: Bisection rounds granted to boundary cells before
+            they are evaluated outright (>= 1).
+        top_k: Incumbent points whose neighborhoods are refined at full
+            resolution, per ranking (>= 1).
+
+    Returns:
+        A :class:`SolverResult` field-for-field identical to the exhaustive
+        scan's (including the nominal ``evaluations`` count), with the real
+        work recorded in the volatile ``work`` mapping.
+
+    Raises:
+        ConfigurationError: on invalid knobs or an oversized fine grid.
+        SolverError: if every fine-grid point evaluates non-finite (the
+            exhaustive scan's error, raised after the full fallback sweep).
+    """
+    coarse_points = _validated_knob("coarse_points", coarse_points, 2)
+    refine_rounds = _validated_knob("refine_rounds", refine_rounds, 1)
+    top_k = _validated_knob("top_k", top_k, 1)
+
+    objective_many = _batched_twin(objective)
+    constraint_manys = [_batched_twin(constraint) for constraint in constraints]
+    if objective_many is None or any(many is None for many in constraint_manys):
+        # Without batched twins there is nothing to vectorize; the scalar
+        # exhaustive loop is the bit-exact reference, so use it directly.
+        return grid_search(
+            objective,
+            space,
+            constraints,
+            points_per_dimension=points_per_dimension,
+            maximize=maximize,
+            feasibility_tolerance=feasibility_tolerance,
+        )
+
+    # Mirror ParameterSpace.grid's validation so the methods reject the
+    # same inputs with the same messages.
+    if points_per_dimension < 1:
+        raise ConfigurationError("points_per_dimension must be >= 1")
+    nominal = points_per_dimension**space.dimension
+    if nominal > 2_000_000:
+        raise ConfigurationError(
+            f"grid of {nominal} points is too large; reduce points_per_dimension"
+        )
+
+    sign = -1.0 if maximize else 1.0
+    axes = [parameter.sample_grid(points_per_dimension) for parameter in space]
+    shape = tuple(len(axis) for axis in axes)
+    evaluator = _SubsetEvaluator(axes, shape, objective_many, constraint_manys)
+
+    # --- coarse stage --------------------------------------------------- #
+    coarse_levels = [
+        np.unique(np.round(np.linspace(0, size - 1, min(coarse_points, size))).astype(int))
+        for size in shape
+    ]
+    evaluator.evaluate(_tensor_flats(coarse_levels, shape))
+    coarse_evaluations = evaluator.count()
+
+    # --- refinement ----------------------------------------------------- #
+    cells = [cell for cell in _cells_from_levels(coarse_levels) if _unresolved(cell)]
+    cells_pruned = 0
+    rounds = 0
+    while cells:
+        rounds += 1
+        final_round = rounds >= refine_rounds
+        keep_points = _top_points(evaluator, sign, feasibility_tolerance, top_k)
+        next_cells: List[_Cell] = []
+        for cell in cells:
+            keep, is_incumbent = _keep_cell(
+                cell, evaluator, keep_points, feasibility_tolerance
+            )
+            if not keep:
+                cells_pruned += 1
+                continue
+            small = all(high - low <= _LEAF_WIDTH for low, high in cell)
+            if is_incumbent or final_round or small:
+                evaluator.evaluate(_full_cell_flats(cell, shape))
+            else:
+                sub_levels = _bisect_cell(cell)
+                evaluator.evaluate(_tensor_flats(sub_levels, shape))
+                next_cells.extend(
+                    sub for sub in _cells_from_levels(sub_levels) if _unresolved(sub)
+                )
+        cells = next_cells
+    refined_evaluations = evaluator.count() - coarse_evaluations
+
+    # --- feasibility fallback ------------------------------------------- #
+    # If the refined subset holds no feasible point, the exhaustive answer
+    # (a feasible point we missed, the least-violating point of the *whole*
+    # grid, or the no-finite-point error) needs global information: sweep
+    # the rest.  This keeps infeasible-everywhere games and the branch
+    # decision itself unconditionally identical to the exhaustive path.
+    index = np.flatnonzero(evaluator.evaluated)
+    any_feasible = bool(
+        (evaluator.valid[index] & (evaluator.violation[index] <= feasibility_tolerance)).any()
+    )
+    if not any_feasible and not bool(evaluator.evaluated.all()):
+        evaluator.evaluate(np.flatnonzero(~evaluator.evaluated))
+        refined_evaluations = evaluator.count() - coarse_evaluations
+        index = np.flatnonzero(evaluator.evaluated)
+
+    # --- selection: the exhaustive scan's semantics over the subset ----- #
+    valid = evaluator.valid[index]
+    if not bool(valid.any()):
+        raise SolverError(_NO_FINITE_POINT)
+    violation = evaluator.violation[index]
+    feasible_mask = valid & (violation <= feasibility_tolerance)
+    if bool(feasible_mask.any()):
+        signed = sign * evaluator.raw[index]
+        best_local = int(np.argmin(np.where(feasible_mask, signed, np.inf)))
+        feasible = True
+    else:
+        best_local = int(np.argmin(np.where(valid, violation, np.inf)))
+        feasible = False
+    best = int(index[best_local])
+
+    work: Dict[str, int] = {
+        "coarse_evaluations": int(coarse_evaluations),
+        "refined_evaluations": int(refined_evaluations),
+        "cells_pruned": int(cells_pruned),
+    }
+    return SolverResult(
+        x=evaluator.point(best),
+        value=float(evaluator.raw[best]),
+        feasible=feasible,
+        method="grid",
+        evaluations=evaluator.total,
+        constraint_violation=float(evaluator.violation[best]),
+        message=f"{evaluator.total} grid points evaluated",
+        work=work,
+    )

@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.exceptions import ConfigurationError, StoreError, ValidationError
+from repro.optimization.hybrid import SOLVER_METHODS
 from repro.protocols.registry import canonical_name, protocol_class
 from repro.runtime import BatchRunner, default_runner
 from repro.scenarios.presets import available_scenarios, scenario_preset
@@ -89,6 +90,10 @@ class CampaignSpec:
             bit-identical, so the knob is excluded from :meth:`as_dict`
             (campaign artifacts stay byte-identical across engines) and
             from the result-store record keys.
+        solver_method: Grid stage of the game solver (``"exhaustive"`` or
+            ``"adaptive"``).  Like ``sim_engine``, the methods return
+            identical solutions, so the knob is excluded from
+            :meth:`as_dict` and from the solve cache/store keys.
     """
 
     scenarios: Tuple[str, ...] = ()
@@ -102,6 +107,7 @@ class CampaignSpec:
     delay_tolerance: float = 0.6
     min_delivery_ratio: float = 0.9
     sim_engine: str = "scalar"
+    solver_method: str = "exhaustive"
 
     def __post_init__(self) -> None:
         scenarios = tuple(self.scenarios) or tuple(available_scenarios())
@@ -146,6 +152,11 @@ class CampaignSpec:
             raise ConfigurationError(
                 f"unknown simulation engine {self.sim_engine!r}; "
                 f"choose from {', '.join(SIM_ENGINES)}"
+            )
+        if self.solver_method not in SOLVER_METHODS:
+            raise ConfigurationError(
+                f"unknown solver method {self.solver_method!r}; "
+                f"choose from {', '.join(SOLVER_METHODS)}"
             )
 
     @property
@@ -736,7 +747,8 @@ def run_campaign(
             scenario=scenario_preset(scenario_name).scenario,
             requirements=scenario_preset(scenario_name).requirements(),
             solver_options={
-                "grid_points_per_dimension": spec.grid_points_per_dimension
+                "grid_points_per_dimension": spec.grid_points_per_dimension,
+                "method": spec.solver_method,
             },
         )
         for scenario_name in spec.scenarios

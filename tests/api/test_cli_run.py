@@ -140,6 +140,34 @@ class TestRunErrorPaths:
             capsys, ["run", path, "--workers", "-2"], "workers must be >= 0"
         )
 
+    def test_unknown_solver_method(self, capsys, tmp_path):
+        spec = dict(GOOD_SOLVE, solver={"grid_points": 20, "method": "magic"})
+        self.assert_clean_error(
+            capsys, ["run", write_spec(tmp_path, spec)], "unknown solver.method 'magic'"
+        )
+
+    def test_unknown_runtime_solver_method(self, capsys, tmp_path):
+        spec = dict(GOOD_SOLVE, runtime={"solver_method": "magic"})
+        self.assert_clean_error(
+            capsys, ["run", write_spec(tmp_path, spec)], "runtime.solver_method"
+        )
+
+    @pytest.mark.parametrize(
+        "knob, bad, floor",
+        [
+            ("coarse_points", 1, 2),
+            ("refine_rounds", 0, 1),
+            ("top_k", "many", 1),
+        ],
+    )
+    def test_invalid_adaptive_option(self, capsys, tmp_path, knob, bad, floor):
+        spec = dict(GOOD_SOLVE, solver={"grid_points": 20, knob: bad})
+        self.assert_clean_error(
+            capsys,
+            ["run", write_spec(tmp_path, spec)],
+            f"solver.{knob} must be an integer >= {floor}, got {bad!r}",
+        )
+
 
 class TestExitCodeContract:
     """Pin the documented exit codes the experiment service maps to HTTP.
@@ -163,6 +191,24 @@ class TestExitCodeContract:
             pytest.param("{not json", [], EXIT_ERROR, id="broken-json"),
             pytest.param({"kind": "frobnicate"}, [], EXIT_ERROR, id="unknown-kind"),
             pytest.param(INFEASIBLE, [], EXIT_ERROR, id="infeasible-solve"),
+            pytest.param(
+                GOOD_SOLVE,
+                ["--solver-method", "adaptive"],
+                EXIT_OK,
+                id="adaptive-override-ok",
+            ),
+            pytest.param(
+                dict(GOOD_SOLVE, solver={"grid_points": 10, "method": "magic"}),
+                [],
+                EXIT_ERROR,
+                id="unknown-solver-method",
+            ),
+            pytest.param(
+                dict(GOOD_SOLVE, solver={"grid_points": 10, "top_k": 0}),
+                [],
+                EXIT_ERROR,
+                id="bad-adaptive-knob",
+            ),
             pytest.param(
                 GOOD_SOLVE,
                 ["--store", "{tmp}/store", "--require-warm"],

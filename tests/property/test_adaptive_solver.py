@@ -1,0 +1,193 @@
+"""Property-based invariants of the adaptive coarse-to-fine solver.
+
+Three families, per the adaptive-solver contract
+(:mod:`repro.optimization.adaptive`):
+
+* argmax identity — across fuzzed scenarios, protocols, requirement
+  points, odd and even grid sizes, and knob settings in the supported
+  range, the adaptive solver returns the exhaustive scan's exact
+  ``SolverResult`` (same point, value, tie-break, nominal evaluation
+  count) for the energy (P1) and delay (P2) problems;
+* infeasible identity — games that are infeasible everywhere report the
+  identical least-violation answer through both methods;
+* honest accounting — the nominal ``evaluations`` equals the full-grid
+  total while the volatile work counters never exceed it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.requirements import ApplicationRequirements
+from repro.core.problems import (
+    DelayMinimizationProblem,
+    EnergyMinimizationProblem,
+)
+from repro.network.topology import RingTopology
+from repro.optimization import adaptive_grid_search, batched, grid_search
+from repro.protocols.registry import create_protocol
+from repro.scenario import Scenario
+
+PROTOCOLS = ("dmac", "lmac", "scpmac", "xmac")
+
+COMMON_SETTINGS = settings(
+    max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+#: Every field of SolverResult that must match bit-for-bit (``work`` is
+#: volatile and expected to differ).
+_COMPARED_FIELDS = (
+    "x",
+    "value",
+    "feasible",
+    "method",
+    "evaluations",
+    "message",
+    "constraint_violation",
+)
+
+#: Grid resolutions with odd sizes over-represented: rounding coarse
+#: levels onto odd fine grids is where an off-by-one would hide.
+GRID_SIZES = (5, 9, 17, 33, 45, 60, 61)
+
+
+def _problem(protocol, depth, density, period, energy_budget, max_delay, kind):
+    scenario = Scenario(
+        topology=RingTopology(depth=depth, density=density),
+        sampling_rate=1.0 / period,
+    )
+    model = create_protocol(protocol, scenario)
+    requirements = ApplicationRequirements(
+        energy_budget=energy_budget,
+        max_delay=max_delay,
+        sampling_rate=scenario.sampling_rate,
+    )
+    if kind == "energy":
+        problem = EnergyMinimizationProblem(model, requirements)
+        objective = batched(model.system_energy, model.energy_many)
+    else:
+        problem = DelayMinimizationProblem(model, requirements)
+        objective = batched(model.system_latency, model.latency_many)
+    return objective, problem.space, problem.constraints()
+
+
+def _assert_identical(exhaustive, adaptive):
+    for field in _COMPARED_FIELDS:
+        left = getattr(exhaustive, field)
+        right = getattr(adaptive, field)
+        if isinstance(left, np.ndarray):
+            assert np.array_equal(left, right), (
+                f"{field}: {[float.hex(float(v)) for v in left]} != "
+                f"{[float.hex(float(v)) for v in right]}"
+            )
+        else:
+            assert left == right, f"{field}: {left!r} != {right!r}"
+
+
+class TestArgmaxIdentity:
+    @COMMON_SETTINGS
+    @given(
+        protocol=st.sampled_from(PROTOCOLS),
+        kind=st.sampled_from(("energy", "delay")),
+        depth=st.integers(min_value=2, max_value=5),
+        density=st.integers(min_value=2, max_value=6),
+        period=st.sampled_from((15.0, 60.0, 300.0, 600.0)),
+        energy_budget=st.floats(min_value=0.005, max_value=0.2),
+        max_delay=st.floats(min_value=0.2, max_value=10.0),
+        grid_n=st.sampled_from(GRID_SIZES),
+    )
+    def test_adaptive_matches_exhaustive(
+        self, protocol, kind, depth, density, period, energy_budget, max_delay, grid_n
+    ):
+        objective, space, constraints = _problem(
+            protocol, depth, density, period, energy_budget, max_delay, kind
+        )
+        exhaustive = grid_search(
+            objective, space, constraints, points_per_dimension=grid_n
+        )
+        adaptive = adaptive_grid_search(
+            objective, space, constraints, points_per_dimension=grid_n
+        )
+        _assert_identical(exhaustive, adaptive)
+
+    @COMMON_SETTINGS
+    @given(
+        protocol=st.sampled_from(PROTOCOLS),
+        grid_n=st.sampled_from((17, 33, 61)),
+        coarse_points=st.integers(min_value=9, max_value=15),
+        refine_rounds=st.integers(min_value=1, max_value=5),
+        top_k=st.integers(min_value=2, max_value=6),
+    )
+    def test_identity_holds_across_knob_settings(
+        self, protocol, grid_n, coarse_points, refine_rounds, top_k
+    ):
+        objective, space, constraints = _problem(
+            protocol, 3, 4, 300.0, 0.06, 6.0, "energy"
+        )
+        exhaustive = grid_search(
+            objective, space, constraints, points_per_dimension=grid_n
+        )
+        adaptive = adaptive_grid_search(
+            objective,
+            space,
+            constraints,
+            points_per_dimension=grid_n,
+            coarse_points=coarse_points,
+            refine_rounds=refine_rounds,
+            top_k=top_k,
+        )
+        _assert_identical(exhaustive, adaptive)
+
+
+class TestInfeasibleIdentity:
+    @COMMON_SETTINGS
+    @given(
+        protocol=st.sampled_from(PROTOCOLS),
+        kind=st.sampled_from(("energy", "delay")),
+        grid_n=st.sampled_from(GRID_SIZES),
+        max_delay=st.floats(min_value=1e-9, max_value=1e-5),
+    )
+    def test_infeasible_everywhere_reports_identically(
+        self, protocol, kind, grid_n, max_delay
+    ):
+        # A vanishing latency bound no duty cycle can meet (the P1
+        # constraint) and an energy budget below the sleep floor (the P2
+        # constraint): both methods must agree the game is infeasible *and*
+        # return the same least-violation point.
+        objective, space, constraints = _problem(
+            protocol, 3, 4, 300.0, 1e-9, max_delay, kind
+        )
+        exhaustive = grid_search(
+            objective, space, constraints, points_per_dimension=grid_n
+        )
+        adaptive = adaptive_grid_search(
+            objective, space, constraints, points_per_dimension=grid_n
+        )
+        assert not exhaustive.feasible
+        assert not adaptive.feasible
+        _assert_identical(exhaustive, adaptive)
+
+
+class TestWorkAccounting:
+    @COMMON_SETTINGS
+    @given(
+        protocol=st.sampled_from(PROTOCOLS),
+        grid_n=st.sampled_from((17, 45, 60, 61)),
+    )
+    def test_nominal_evaluations_bound_real_work(self, protocol, grid_n):
+        objective, space, constraints = _problem(
+            protocol, 3, 4, 300.0, 0.06, 6.0, "energy"
+        )
+        result = adaptive_grid_search(
+            objective, space, constraints, points_per_dimension=grid_n
+        )
+        assert result.evaluations == grid_n ** space.dimension
+        work = result.work
+        assert work is not None
+        actual = work["coarse_evaluations"] + work["refined_evaluations"]
+        assert 0 < actual <= result.evaluations
+        assert work["cells_pruned"] >= 0
+        # The serialized form must be indistinguishable from exhaustive.
+        assert "work" not in result.as_dict()
